@@ -1,0 +1,125 @@
+// Command attackgen crafts image-scaling attack images (the Xiao et al.
+// attack) for research and for exercising the detectors.
+//
+// With -source and -target it embeds the target file into the source file;
+// without them it generates a synthetic demonstration pair.
+//
+// Usage:
+//
+//	attackgen -source sheep.png -target wolf.png -dst 224x224 -out attack.png
+//	attackgen -demo -dst 32x32 -out attack.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"decamouflage/internal/attack"
+	"decamouflage/internal/cliutil"
+	"decamouflage/internal/dataset"
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/scaling"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "attackgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("attackgen", flag.ContinueOnError)
+	var (
+		srcPath = fs.String("source", "", "source (cover) image file")
+		tgtPath = fs.String("target", "", "target (hidden) image file")
+		demo    = fs.Bool("demo", false, "generate a synthetic source/target pair")
+		dst     = fs.String("dst", "224x224", "model input geometry WxH")
+		alg     = fs.String("alg", "bilinear", "scaling algorithm to attack")
+		eps     = fs.Float64("eps", 2, "allowed L-inf deviation at the target")
+		seed    = fs.Int64("seed", 1, "demo generator seed")
+		out     = fs.String("out", "attack.png", "output attack image path")
+		saveAll = fs.Bool("save-intermediate", false, "also save source/target/downscale next to -out")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dstW, dstH, err := cliutil.ParseSize(*dst)
+	if err != nil {
+		return err
+	}
+	algorithm, err := scaling.ParseAlgorithm(*alg)
+	if err != nil {
+		return err
+	}
+
+	var source, target *imgcore.Image
+	switch {
+	case *demo:
+		g, err := dataset.NewGenerator(dataset.Config{
+			Corpus: dataset.CaltechLike, W: dstW * 4, H: dstH * 4, C: 3, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		tg, err := dataset.NewGenerator(dataset.Config{
+			Corpus: dataset.CaltechLike, W: dstW, H: dstH, C: 3, Seed: *seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		source, target = g.Image(0), tg.Image(0)
+	case *srcPath != "" && *tgtPath != "":
+		source, err = imgcore.Load(*srcPath)
+		if err != nil {
+			return err
+		}
+		target, err = imgcore.Load(*tgtPath)
+		if err != nil {
+			return err
+		}
+		if target.W != dstW || target.H != dstH {
+			target, err = scaling.Resize(target, dstW, dstH, scaling.Options{Algorithm: algorithm})
+			if err != nil {
+				return fmt.Errorf("resizing target to %dx%d: %w", dstW, dstH, err)
+			}
+			target.Quantize8()
+		}
+	default:
+		return fmt.Errorf("pass -source and -target, or -demo")
+	}
+
+	scaler, err := scaling.NewScaler(source.W, source.H, dstW, dstH, scaling.Options{Algorithm: algorithm})
+	if err != nil {
+		return err
+	}
+	res, err := attack.Craft(source, target, attack.Config{Scaler: scaler, Eps: *eps})
+	if err != nil {
+		return err
+	}
+	if err := res.Attack.SavePNG(*out); err != nil {
+		return err
+	}
+	fmt.Printf("attack image written to %s\n", *out)
+	fmt.Printf("  converged:        %v (solver sweeps %d)\n", res.Converged, res.Sweeps)
+	fmt.Printf("  L-inf to target:  %.2f (eps %.2f)\n", res.MaxViolation, *eps)
+	fmt.Printf("  perturbation MSE: %.1f\n", res.PerturbationMSE)
+	fmt.Printf("  downscaled MSE:   %.2f\n", res.DownscaledMSE)
+
+	if *saveAll {
+		base := *out
+		down, err := scaler.Resize(res.Attack)
+		if err != nil {
+			return err
+		}
+		for suffix, img := range map[string]*imgcore.Image{
+			".source.png": source, ".target.png": target, ".downscaled.png": down,
+		} {
+			if err := img.SavePNG(base + suffix); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"decamouflage/internal/imgcore"
+)
+
+func TestRunDemo(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "attack.png")
+	err := run([]string{"-demo", "-dst", "16x16", "-out", out, "-save-intermediate", "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := imgcore.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 64 || img.H != 64 {
+		t.Errorf("attack geometry %v, want 64x64 (4x dst)", img)
+	}
+	for _, suffix := range []string{".source.png", ".target.png", ".downscaled.png"} {
+		if _, err := os.Stat(out + suffix); err != nil {
+			t.Errorf("missing intermediate %s: %v", suffix, err)
+		}
+	}
+}
+
+func TestRunWithFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Build a source and an over-sized target (exercises target resize).
+	src := imgcore.MustNew(48, 48, 3)
+	for i := range src.Pix {
+		src.Pix[i] = float64((i * 13) % 256)
+	}
+	tgt := imgcore.MustNew(30, 30, 3)
+	for i := range tgt.Pix {
+		tgt.Pix[i] = float64((i * 7) % 256)
+	}
+	srcPath := filepath.Join(dir, "src.png")
+	tgtPath := filepath.Join(dir, "tgt.png")
+	if err := src.SavePNG(srcPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.SavePNG(tgtPath); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "a.png")
+	err := run([]string{"-source", srcPath, "-target", tgtPath, "-dst", "12x12", "-eps", "4", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if err := run([]string{"-demo", "-dst", "bogus"}); err == nil {
+		t.Error("bad size accepted")
+	}
+	if err := run([]string{"-demo", "-alg", "bogus"}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run([]string{"-source", "missing.png", "-target", "missing2.png"}); err == nil {
+		t.Error("missing files accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"decamouflage/internal/cliutil"
+	"decamouflage/internal/dataset"
+	"decamouflage/internal/detect"
+)
+
+func TestRunWhiteBox(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cal.json")
+	err := run([]string{"-mode", "whitebox", "-n", "6", "-src", "64x64", "-dst", "16x16", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := cliutil.LoadCalibration(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Setting != "whitebox" {
+		t.Errorf("setting = %q", cal.Setting)
+	}
+	for _, key := range []string{"scaling/MSE", "filtering/SSIM", "steganalysis/CSP"} {
+		if _, ok := cal.Get(key); !ok {
+			t.Errorf("missing threshold %q", key)
+		}
+	}
+}
+
+func TestRunBlackBox(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cal.json")
+	sysOut := filepath.Join(dir, "sys.json")
+	err := run([]string{"-mode", "blackbox", "-n", "8", "-src", "64x64", "-dst", "16x16", "-percentile", "2", "-out", out, "-system-out", sysOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cliutil.LoadCalibration(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(sysOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := detect.UnmarshalSystemConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.DstW != 16 || sys.Algorithm != "bilinear" {
+		t.Errorf("system config = %+v", sys)
+	}
+	if _, err := detect.BuildSystem(sys); err != nil {
+		t.Fatalf("BuildSystem from CLI output: %v", err)
+	}
+}
+
+func TestRunBlackBoxFromDir(t *testing.T) {
+	dir := t.TempDir()
+	g, err := dataset.NewGenerator(dataset.Config{Corpus: dataset.CaltechLike, W: 48, H: 48, C: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := g.Image(i).SavePNG(filepath.Join(dir, "img"+string(rune('a'+i))+".png")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "cal.json")
+	err = run([]string{"-mode", "blackbox", "-benign-dir", dir, "-dst", "12x12", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cliutil.LoadCalibration(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run([]string{"-dst", "junk"}); err == nil {
+		t.Error("bad size accepted")
+	}
+	if err := run([]string{"-alg", "junk"}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run([]string{"-mode", "blackbox", "-benign-dir", "/nonexistent-xyz"}); err == nil {
+		t.Error("missing benign dir accepted")
+	}
+	if err := run([]string{"-mode", "blackbox", "-benign-dir", t.TempDir()}); err == nil {
+		t.Error("empty benign dir accepted")
+	}
+}

@@ -1,0 +1,203 @@
+// Command decamouflage classifies images as benign or image-scaling
+// attacks.
+//
+// The steganalysis method (CSP) runs with no calibration; the scaling and
+// filtering methods join the ensemble when a calibration file (produced by
+// cmd/calibrate) is supplied.
+//
+// Usage:
+//
+//	decamouflage -dst 224x224 image.png ...
+//	decamouflage -dst 224x224 -calibration cal.json -alg bilinear image.png
+//	decamouflage -dst 32x32 -dir ./uploads -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"decamouflage/internal/cliutil"
+	"decamouflage/internal/detect"
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/scaling"
+	"decamouflage/internal/steg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "decamouflage:", err)
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	Path    string  `json:"path"`
+	Attack  bool    `json:"attack"`
+	Votes   int     `json:"votes"`
+	Methods int     `json:"methods"`
+	CSP     float64 `json:"csp"`
+	Detail  string  `json:"detail,omitempty"`
+	// TargetEstimate is the forensic estimate of the attacker's intended
+	// model-input geometry ("WxH"), present only for flagged images whose
+	// spectrum shows measurable replicas.
+	TargetEstimate string `json:"target_estimate,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("decamouflage", flag.ContinueOnError)
+	var (
+		dst      = fs.String("dst", "224x224", "model input geometry WxH (the protected scaler's output)")
+		alg      = fs.String("alg", "bilinear", "scaling algorithm used by the protected pipeline")
+		calPath  = fs.String("calibration", "", "calibration JSON from cmd/calibrate (enables scaling+filtering methods)")
+		dir      = fs.String("dir", "", "scan every PNG/JPEG in a directory")
+		asJSON   = fs.Bool("json", false, "emit JSON lines")
+		strictly = fs.Bool("strict", false, "exit nonzero when any attack is detected")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if *dir != "" {
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			ext := strings.ToLower(filepath.Ext(e.Name()))
+			if ext == ".png" || ext == ".jpg" || ext == ".jpeg" {
+				paths = append(paths, filepath.Join(*dir, e.Name()))
+			}
+		}
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no images given (pass files or -dir)")
+	}
+	dstW, dstH, err := cliutil.ParseSize(*dst)
+	if err != nil {
+		return err
+	}
+	algorithm, err := scaling.ParseAlgorithm(*alg)
+	if err != nil {
+		return err
+	}
+
+	var cal *detect.Calibration
+	if *calPath != "" {
+		cal, err = cliutil.LoadCalibration(*calPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	ctx := context.Background()
+	attacks := 0
+	for _, p := range paths {
+		img, err := imgcore.Load(p)
+		if err != nil {
+			return err
+		}
+		res, err := classify(ctx, img, dstW, dstH, algorithm, cal)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		res.Path = p
+		if res.Attack {
+			attacks++
+		}
+		if *asJSON {
+			data, err := json.Marshal(res)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, string(data))
+		} else {
+			label := "BENIGN"
+			if res.Attack {
+				label = "ATTACK"
+			}
+			extra := res.Detail
+			if res.TargetEstimate != "" {
+				extra += ", attacker target ~" + res.TargetEstimate
+			}
+			fmt.Fprintf(out, "%-6s %s (votes %d/%d, CSP=%.0f%s)\n",
+				label, p, res.Votes, res.Methods, res.CSP, extra)
+		}
+	}
+	if *strictly && attacks > 0 {
+		return fmt.Errorf("%d attack image(s) detected", attacks)
+	}
+	return nil
+}
+
+// classify builds the richest detector set the configuration allows and
+// majority-votes.
+func classify(ctx context.Context, img *imgcore.Image, dstW, dstH int, alg scaling.Algorithm, cal *detect.Calibration) (*result, error) {
+	var detectors []*detect.Detector
+	detail := ""
+
+	stegDet, err := detect.NewDetector(detect.NewStegScorer(steg.Options{}), detect.DefaultCSPThreshold())
+	if err != nil {
+		return nil, err
+	}
+	detectors = append(detectors, stegDet)
+
+	if cal != nil {
+		scaler, err := scaling.NewScaler(img.W, img.H, dstW, dstH, scaling.Options{Algorithm: alg})
+		if err != nil {
+			return nil, err
+		}
+		if th, ok := cal.Get("scaling/MSE"); ok {
+			sc, err := detect.NewScalingScorer(scaler, detect.MSE)
+			if err != nil {
+				return nil, err
+			}
+			d, err := detect.NewDetector(sc, th)
+			if err != nil {
+				return nil, err
+			}
+			detectors = append(detectors, d)
+		}
+		if th, ok := cal.Get("filtering/SSIM"); ok {
+			fc, err := detect.NewFilteringScorer(2, detect.SSIM)
+			if err != nil {
+				return nil, err
+			}
+			d, err := detect.NewDetector(fc, th)
+			if err != nil {
+				return nil, err
+			}
+			detectors = append(detectors, d)
+		}
+	} else {
+		detail = ", steganalysis only"
+	}
+	ens, err := detect.NewEnsemble(detectors...)
+	if err != nil {
+		return nil, err
+	}
+	v, err := ens.Detect(ctx, img)
+	if err != nil {
+		return nil, err
+	}
+	res := &result{Attack: v.Attack, Votes: v.Votes, Methods: len(v.Verdicts), Detail: detail}
+	for _, verdict := range v.Verdicts {
+		if verdict.Method == "steganalysis/CSP" {
+			res.CSP = verdict.Score
+		}
+	}
+	if v.Attack {
+		if w, h, ok := steg.EstimateTargetSize(img, steg.Options{}); ok {
+			res.TargetEstimate = fmt.Sprintf("%dx%d", w, h)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decamouflage/internal/attack"
+	"decamouflage/internal/cliutil"
+	"decamouflage/internal/dataset"
+	"decamouflage/internal/detect"
+	"decamouflage/internal/scaling"
+)
+
+// writeFixtures creates a benign and an attack PNG plus a calibration file,
+// returning their paths.
+func writeFixtures(t *testing.T) (benignPath, attackPath, calPath, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	g, err := dataset.NewGenerator(dataset.Config{Corpus: dataset.CaltechLike, W: 96, H: 96, C: 3, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := dataset.NewGenerator(dataset.Config{Corpus: dataset.CaltechLike, W: 24, H: 24, C: 3, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler, err := scaling.NewScaler(96, 96, 24, 24, scaling.Options{Algorithm: scaling.Bilinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := g.Image(0)
+	res, err := attack.Craft(benign, tg.Image(0), attack.Config{Scaler: scaler, Eps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benignPath = filepath.Join(dir, "benign.png")
+	attackPath = filepath.Join(dir, "attack.png")
+	if err := benign.SavePNG(benignPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Attack.SavePNG(attackPath); err != nil {
+		t.Fatal(err)
+	}
+	// Cheap calibration: score a few benign images black-box.
+	ss, err := detect.NewScalingScorer(scaler, detect.MSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsx, err := detect.NewFilteringScorer(2, detect.SSIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb, fb []float64
+	for i := 1; i < 9; i++ {
+		v, err := ss.Score(g.Image(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb = append(sb, v)
+		v, err = fsx.Score(g.Image(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb = append(fb, v)
+	}
+	sth, err := detect.CalibrateBlackBox(sb, 10, detect.Above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fth, err := detect.CalibrateBlackBox(fb, 10, detect.Below)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := detect.NewCalibration("black-box")
+	cal.Set("scaling/MSE", sth)
+	cal.Set("filtering/SSIM", fth)
+	calPath = filepath.Join(dir, "cal.json")
+	if err := cliutil.SaveCalibration(calPath, cal); err != nil {
+		t.Fatal(err)
+	}
+	return benignPath, attackPath, calPath, dir
+}
+
+func TestRunStegOnly(t *testing.T) {
+	benign, atk, _, _ := writeFixtures(t)
+	var out strings.Builder
+	if err := run([]string{"-dst", "24x24", benign, atk}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("output lines: %q", out.String())
+	}
+	if !strings.HasPrefix(lines[0], "BENIGN") {
+		t.Errorf("benign line: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "ATTACK") {
+		t.Errorf("attack line: %s", lines[1])
+	}
+}
+
+func TestRunWithCalibrationAndJSON(t *testing.T) {
+	benign, atk, cal, _ := writeFixtures(t)
+	var out strings.Builder
+	if err := run([]string{"-dst", "24x24", "-calibration", cal, "-json", benign, atk}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, `"attack":false`) || !strings.Contains(got, `"attack":true`) {
+		t.Errorf("json output: %s", got)
+	}
+	if !strings.Contains(got, `"methods":3`) {
+		t.Errorf("expected 3-method ensemble: %s", got)
+	}
+}
+
+func TestRunDirScan(t *testing.T) {
+	_, _, _, dir := writeFixtures(t)
+	var out strings.Builder
+	if err := run([]string{"-dst", "24x24", "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out.String(), "\n"); n != 2 {
+		t.Errorf("dir scan found %d images, want 2: %s", n, out.String())
+	}
+}
+
+func TestRunStrictMode(t *testing.T) {
+	_, atk, _, _ := writeFixtures(t)
+	var out strings.Builder
+	if err := run([]string{"-dst", "24x24", "-strict", atk}, &out); err == nil {
+		t.Error("strict mode with attack returned nil error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dst", "24x24"}, &out); err == nil {
+		t.Error("no images accepted")
+	}
+	if err := run([]string{"-dst", "bogus", "x.png"}, &out); err == nil {
+		t.Error("bad size accepted")
+	}
+	if err := run([]string{"-dst", "24x24", "-alg", "bogus", "x.png"}, &out); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run([]string{"-dst", "24x24", "missing.png"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-dst", "24x24", "-calibration", "missing.json", "x.png"}, &out); err == nil {
+		t.Error("missing calibration accepted")
+	}
+	if err := run([]string{"-dir", "/nonexistent-dir-xyz"}, &out); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

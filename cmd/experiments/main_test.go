@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	err := run([]string{"-run", "T1", "-n", "4", "-src", "32x32", "-dst", "8x8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallTable(t *testing.T) {
+	err := run([]string{"-run", "T6", "-n", "4", "-src", "64x64", "-dst", "16x16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-src", "junk"}); err == nil {
+		t.Error("bad src accepted")
+	}
+	if err := run([]string{"-dst", "junk"}); err == nil {
+		t.Error("bad dst accepted")
+	}
+	if err := run([]string{"-alg", "junk"}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run([]string{"-run", "NOPE", "-n", "2"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Adaptive attack study: the paper's Section VI argues the ensemble
+// hardens adaptive attackers because defeating one method is not enough.
+// This example plays the adversary: it tries increasingly desperate attack
+// variants against the defended pipeline and reports, for each, whether the
+// attack still works AND whether each detection method (and the ensemble)
+// catches it.
+//
+// Run with:
+//
+//	go run ./examples/adaptive_attack
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"decamouflage"
+	"decamouflage/internal/dataset"
+	"decamouflage/internal/filtering"
+	"decamouflage/internal/metrics"
+)
+
+const (
+	srcW, srcH = 128, 128
+	dstW, dstH = 32, 32
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptive-attack: ")
+
+	scaler, err := decamouflage.NewScaler(srcW, srcH, dstW, dstH, decamouflage.Bilinear)
+	if err != nil {
+		log.Fatal(err)
+	}
+	covers, err := dataset.NewGenerator(dataset.Config{
+		Corpus: dataset.CaltechLike, W: srcW, H: srcH, C: 3, Seed: 41,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets, err := dataset.NewGenerator(dataset.Config{
+		Corpus: dataset.CaltechLike, W: dstW, H: dstH, C: 3, Seed: 43,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Calibrate the defense black-box (attacker-independent).
+	var sScores, fScores []float64
+	for i := 100; i < 140; i++ {
+		img := covers.Image(i)
+		v, err := decamouflage.ScoreScaling(scaler, decamouflage.MSE, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sScores = append(sScores, v)
+		v, err = decamouflage.ScoreFiltering(2, decamouflage.SSIM, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fScores = append(fScores, v)
+	}
+	scalingTh, err := decamouflage.CalibrateBlackBox(sScores, 1, decamouflage.MSE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filteringTh, err := decamouflage.CalibrateBlackBox(fScores, 1, decamouflage.SSIM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ens, err := decamouflage.NewEnsemble(scaler, scalingTh, filteringTh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stegDet, err := decamouflage.NewSteganalysisDetector()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	source := covers.Image(0)
+	target := targets.Image(0)
+
+	// Adaptive strategies the adversary tries.
+	type variant struct {
+		name  string
+		build func() (*decamouflage.Image, error)
+	}
+	variants := []variant{
+		{
+			// Plain Xiao et al. attack — the baseline.
+			name: "standard attack (eps=2)",
+			build: func() (*decamouflage.Image, error) {
+				res, err := decamouflage.CraftAttack(source, target, scaler, 2)
+				if err != nil {
+					return nil, err
+				}
+				return res.Attack, nil
+			},
+		},
+		{
+			// Loose budget: weaker embedding, hoping to slip under
+			// thresholds.
+			name: "loose attack (eps=16)",
+			build: func() (*decamouflage.Image, error) {
+				res, err := decamouflage.CraftAttack(source, target, scaler, 16)
+				if err != nil {
+					return nil, err
+				}
+				return res.Attack, nil
+			},
+		},
+		{
+			// Blend toward the source: scale the perturbation down 50%
+			// after crafting — directly attacks the scaling/MSE score.
+			name: "halved perturbation",
+			build: func() (*decamouflage.Image, error) {
+				res, err := decamouflage.CraftAttack(source, target, scaler, 2)
+				if err != nil {
+					return nil, err
+				}
+				delta, err := res.Attack.Sub(source)
+				if err != nil {
+					return nil, err
+				}
+				blended, err := source.Add(delta.Scale(0.5))
+				if err != nil {
+					return nil, err
+				}
+				return blended.Quantize8(), nil
+			},
+		},
+		{
+			// Post-smooth: light Gaussian blur to soften the comb and the
+			// spectral replicas — attacks the steganalysis method.
+			name: "gaussian-smoothed attack",
+			build: func() (*decamouflage.Image, error) {
+				res, err := decamouflage.CraftAttack(source, target, scaler, 2)
+				if err != nil {
+					return nil, err
+				}
+				return filtering.Gaussian(res.Attack, 1, 0.6)
+			},
+		},
+		{
+			// Target blended toward the benign downscale: a weaker goal
+			// (50/50 mix) needing less perturbation.
+			name: "half-strength target",
+			build: func() (*decamouflage.Image, error) {
+				benignDown, err := scaler.Resize(source)
+				if err != nil {
+					return nil, err
+				}
+				mix := benignDown.Clone()
+				for i := range mix.Pix {
+					mix.Pix[i] = 0.5*mix.Pix[i] + 0.5*target.Pix[i]
+				}
+				res, err := decamouflage.CraftAttack(source, mix.Quantize8(), scaler, 2)
+				if err != nil {
+					return nil, err
+				}
+				return res.Attack, nil
+			},
+		},
+	}
+
+	ctx := context.Background()
+	fmt.Printf("%-28s %-14s %-10s %-10s\n", "variant", "attack works?", "ensemble", "steg-only")
+	for _, v := range variants {
+		img, err := v.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Does the variant still function as an attack? (downscale close
+		// to the intended target)
+		down, err := scaler.Resize(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ssim, err := metrics.SSIM(down, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		works := ssim >= 0.75
+		ev, err := decamouflage.Detect(ctx, ens, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sv, err := stegDet.Detect(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %-14s %-10s %-10s\n",
+			v.name,
+			fmt.Sprintf("%v (SSIM %.2f)", works, ssim),
+			caught(ev.Attack), caught(sv.Attack))
+	}
+	fmt.Println("\nreading: an adaptive attacker must keep 'attack works' true while")
+	fmt.Println("evading EVERY row — weakening the embedding breaks the attack before")
+	fmt.Println("it breaks the ensemble (the paper's defense-in-depth argument).")
+}
+
+func caught(b bool) string {
+	if b {
+		return "caught"
+	}
+	return "EVADED"
+}

@@ -1,0 +1,140 @@
+// Backdoor audit: the paper's Section II-B scenario. A data aggregator
+// curating a face-recognition training set receives submissions from
+// untrusted third parties; an attacker has disguised trigger images inside
+// innocuous-looking contributions using the image-scaling attack, so that
+// training on the set plants a backdoor. Decamouflage runs OFFLINE over the
+// whole submission batch and quarantines the poisoned images before
+// training.
+//
+// Run with:
+//
+//	go run ./examples/backdoor_audit
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"decamouflage"
+	"decamouflage/internal/dataset"
+)
+
+const (
+	srcW, srcH = 128, 128
+	dstW, dstH = 32, 32
+	batchSize  = 60
+	poisonRate = 0.15
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("backdoor-audit: ")
+
+	scaler, err := decamouflage.NewScaler(srcW, srcH, dstW, dstH, decamouflage.Bilinear)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Contributor photos ("administrator" face images the attacker mimics)
+	// and the trigger images the attacker wants the model to train on.
+	contributions, err := dataset.NewGenerator(dataset.Config{
+		Corpus: dataset.CaltechLike, W: srcW, H: srcH, C: 3, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	triggers, err := dataset.NewGenerator(dataset.Config{
+		Corpus: dataset.CaltechLike, W: dstW, H: dstH, C: 3, Seed: 13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Assemble the submission batch: mostly clean, some poisoned.
+	rng := rand.New(rand.NewSource(99))
+	type submission struct {
+		img      *decamouflage.Image
+		poisoned bool
+	}
+	var batch []submission
+	for i := 0; i < batchSize; i++ {
+		img := contributions.Image(i)
+		poisoned := rng.Float64() < poisonRate
+		if poisoned {
+			res, err := decamouflage.CraftAttack(img, triggers.Image(i), scaler, 2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			img = res.Attack
+		}
+		batch = append(batch, submission{img: img, poisoned: poisoned})
+	}
+
+	// The auditor holds a small in-house benign set (the paper assumes
+	// ~1000 hold-out samples; black-box: no attack knowledge needed).
+	holdout, err := dataset.NewGenerator(dataset.Config{
+		Corpus: dataset.NeurIPSLike, W: srcW, H: srcH, C: 3, Seed: 17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var scalingScores, filteringScores []float64
+	for i := 0; i < 40; i++ {
+		img := holdout.Image(i)
+		v, err := decamouflage.ScoreScaling(scaler, decamouflage.MSE, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scalingScores = append(scalingScores, v)
+		v, err = decamouflage.ScoreFiltering(2, decamouflage.SSIM, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		filteringScores = append(filteringScores, v)
+	}
+	scalingTh, err := decamouflage.CalibrateBlackBox(scalingScores, 2, decamouflage.MSE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filteringTh, err := decamouflage.CalibrateBlackBox(filteringScores, 2, decamouflage.SSIM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ens, err := decamouflage.NewEnsemble(scaler, scalingTh, filteringTh)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Audit the batch.
+	ctx := context.Background()
+	var caught, missed, falseAlarm, kept int
+	for i, s := range batch {
+		v, err := decamouflage.Detect(ctx, ens, s.img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case s.poisoned && v.Attack:
+			caught++
+			fmt.Printf("  quarantined submission %02d (votes %d/3) — poisoned, caught\n", i, v.Votes)
+		case s.poisoned && !v.Attack:
+			missed++
+			fmt.Printf("  MISSED submission %02d — poisoned but accepted\n", i)
+		case !s.poisoned && v.Attack:
+			falseAlarm++
+			fmt.Printf("  quarantined submission %02d — clean (false alarm)\n", i)
+		default:
+			kept++
+		}
+	}
+	fmt.Printf("\naudit summary: %d submissions, %d poisoned\n", len(batch), caught+missed)
+	fmt.Printf("  caught:       %d\n", caught)
+	fmt.Printf("  missed:       %d\n", missed)
+	fmt.Printf("  false alarms: %d\n", falseAlarm)
+	fmt.Printf("  kept clean:   %d\n", kept)
+	if missed == 0 {
+		fmt.Println("training set is free of image-scaling backdoor poison")
+	}
+}

@@ -1,0 +1,145 @@
+// Model pipeline: the paper's Figure 2 end to end, with a real (tiny)
+// CNN in the loop. A shape classifier takes 16x16 inputs behind a bilinear
+// downscaler. The adversary embeds a "cross" into a "circle" photo; the
+// camera image still looks like a circle, but after preprocessing the
+// model sees — and classifies — a cross. Decamouflage, installed in front
+// of the scaler, rejects the attack image before it reaches the model.
+//
+// Run with:
+//
+//	go run ./examples/model_pipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"decamouflage"
+	"decamouflage/internal/cnn"
+	"decamouflage/internal/metrics"
+)
+
+const (
+	srcSize   = 64 // camera resolution
+	modelSize = 16 // CNN input (the attack surface)
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("model-pipeline: ")
+
+	// 1. Train the downstream model on clean shapes.
+	model, err := cnn.NewNetwork(cnn.Config{
+		InputW: modelSize, InputH: modelSize,
+		Classes: cnn.NumShapeClasses, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := cnn.ShapeDataset(40, modelSize, 100)
+	if _, err := model.Fit(train, cnn.TrainOptions{Epochs: 20, LearningRate: 0.005, Seed: 2}); err != nil {
+		log.Fatal(err)
+	}
+	test := cnn.ShapeDataset(15, modelSize, 900)
+	acc, err := model.Accuracy(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model trained: held-out accuracy %.0f%% over %d classes\n", acc*100, cnn.NumShapeClasses)
+
+	// 2. The deployment pipeline: camera (64x64) -> bilinear downscale ->
+	// model (16x16).
+	scaler, err := decamouflage.NewScaler(srcSize, srcSize, modelSize, modelSize, decamouflage.Bilinear)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classify := func(cameraImg *decamouflage.Image) (string, error) {
+		down, err := scaler.Resize(cameraImg)
+		if err != nil {
+			return "", err
+		}
+		pred, _, err := model.Predict(down.Quantize8())
+		if err != nil {
+			return "", err
+		}
+		return cnn.ShapeClassName(pred), nil
+	}
+
+	// 3. Benign behaviour: a circle photo classifies as a circle.
+	cover := cnn.ShapeImage(cnn.ClassCircle, srcSize, 777)
+	got, err := classify(cover)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benign camera image -> model sees: %s\n", got)
+
+	// 4. The attack: embed a cross so the model sees a cross while the
+	// camera image still looks like the circle.
+	target := cnn.ShapeImage(cnn.ClassCross, modelSize, 779)
+	res, err := decamouflage.CraftAttack(cover, target, scaler, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err = classify(res.Attack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssim, err := metrics.SSIM(res.Attack, cover)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attack camera image -> model sees: %s (human still sees the circle: SSIM to cover %.2f)\n", got, ssim)
+	if got != "cross" {
+		fmt.Println("note: attack did not flip the model on this seed")
+	}
+
+	// 5. Install Decamouflage in front of the scaler (black-box
+	// calibration on benign shape photos only).
+	var sScores, fScores []float64
+	for i := 0; i < 30; i++ {
+		img := cnn.ShapeImage(i%cnn.NumShapeClasses, srcSize, int64(2000+i))
+		v, err := decamouflage.ScoreScaling(scaler, decamouflage.MSE, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sScores = append(sScores, v)
+		v, err = decamouflage.ScoreFiltering(2, decamouflage.SSIM, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fScores = append(fScores, v)
+	}
+	sTh, err := decamouflage.CalibrateBlackBox(sScores, 3, decamouflage.MSE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fTh, err := decamouflage.CalibrateBlackBox(fScores, 3, decamouflage.SSIM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guard, err := decamouflage.NewEnsemble(scaler, sTh, fTh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	for name, img := range map[string]*decamouflage.Image{
+		"benign": cover,
+		"attack": res.Attack,
+	} {
+		v, err := decamouflage.Detect(ctx, guard, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.Attack {
+			fmt.Printf("guarded pipeline: %s image REJECTED before the model (votes %d/%d)\n",
+				name, v.Votes, len(v.Verdicts))
+		} else {
+			cls, err := classify(img)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("guarded pipeline: %s image accepted -> model sees: %s\n", name, cls)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Quickstart: craft an image-scaling attack, then catch it with each of
+// Decamouflage's three detection methods and the ensemble.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"decamouflage"
+	"decamouflage/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// The protected pipeline: a model taking 32x32 inputs fed by a
+	// bilinear downscaler — the vulnerable OpenCV/TensorFlow semantics.
+	const srcW, srcH, dstW, dstH = 128, 128, 32, 32
+	scaler, err := decamouflage.NewScaler(srcW, srcH, dstW, dstH, decamouflage.Bilinear)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic stand-ins for a benign photo ("sheep") and the image the
+	// adversary wants the model to see ("wolf").
+	covers, err := dataset.NewGenerator(dataset.Config{
+		Corpus: dataset.CaltechLike, W: srcW, H: srcH, C: 3, Seed: 2024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets, err := dataset.NewGenerator(dataset.Config{
+		Corpus: dataset.CaltechLike, W: dstW, H: dstH, C: 3, Seed: 4048,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sheep := covers.Image(0)
+	wolf := targets.Image(0)
+
+	// The adversary crafts the camouflage image.
+	res, err := decamouflage.CraftAttack(sheep, wolf, scaler, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attack crafted: L-inf to target %.2f, perturbation MSE %.1f\n",
+		res.MaxViolation, res.PerturbationMSE)
+
+	// Method 3 (steganalysis) needs zero calibration: CSP >= 2 => attack.
+	stegDet, err := decamouflage.NewSteganalysisDetector()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, img := range map[string]*decamouflage.Image{"benign": sheep, "attack": res.Attack} {
+		v, err := stegDet.Detect(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("steganalysis on %-6s image: CSP=%.0f -> attack=%v\n", name, v.Score, v.Attack)
+	}
+
+	// Methods 1 and 2 need thresholds. Calibrate white-box on a small
+	// labelled corpus (in production, use cmd/calibrate once, offline).
+	var sb, sa, fb, fa []float64
+	for i := 1; i <= 10; i++ {
+		benign := covers.Image(i)
+		atk, err := decamouflage.CraftAttack(benign, targets.Image(i), scaler, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range []struct {
+			img  *decamouflage.Image
+			dstB *[]float64
+			dstF *[]float64
+		}{
+			{benign, &sb, &fb},
+			{atk.Attack, &sa, &fa},
+		} {
+			v, err := decamouflage.ScoreScaling(scaler, decamouflage.MSE, s.img)
+			if err != nil {
+				log.Fatal(err)
+			}
+			*s.dstB = append(*s.dstB, v)
+			v, err = decamouflage.ScoreFiltering(2, decamouflage.SSIM, s.img)
+			if err != nil {
+				log.Fatal(err)
+			}
+			*s.dstF = append(*s.dstF, v)
+		}
+	}
+	scalingTh, acc, err := decamouflage.CalibrateWhiteBox(sb, sa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scaling/MSE threshold %.1f (train accuracy %.0f%%)\n", scalingTh.Value, acc*100)
+	filteringTh, _, err := decamouflage.CalibrateWhiteBox(fb, fa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("filtering/SSIM threshold %.3f\n", filteringTh.Value)
+
+	// The deployable system: three methods under majority voting.
+	ens, err := decamouflage.NewEnsemble(scaler, scalingTh, filteringTh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	for name, img := range map[string]*decamouflage.Image{"benign": sheep, "attack": res.Attack} {
+		v, err := decamouflage.Detect(ctx, ens, img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ensemble on %-6s image: votes %d/%d -> attack=%v\n",
+			name, v.Votes, len(v.Verdicts), v.Attack)
+	}
+}

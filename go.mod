@@ -1,0 +1,3 @@
+module decamouflage
+
+go 1.22

@@ -1,0 +1,156 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/metrics"
+	"decamouflage/internal/scaling"
+)
+
+func TestCraftDecomposedValidation(t *testing.T) {
+	s := mustScaler(t, 32, 32, 8, 8, scaling.Bilinear)
+	src := smoothImage(1, 32, 32, 1)
+	tgt := smoothImage(2, 8, 8, 1)
+	if _, err := CraftDecomposed(src, tgt, Config{}); err == nil {
+		t.Error("missing scaler accepted")
+	}
+	if _, err := CraftDecomposed(smoothImage(1, 16, 32, 1), tgt, Config{Scaler: s}); err == nil {
+		t.Error("wrong source size accepted")
+	}
+	if _, err := CraftDecomposed(src, smoothImage(2, 9, 8, 1), Config{Scaler: s}); err == nil {
+		t.Error("wrong target size accepted")
+	}
+	if _, err := CraftDecomposed(src, smoothImage(2, 8, 8, 3), Config{Scaler: s}); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+	if _, err := CraftDecomposed(&imgcore.Image{}, tgt, Config{Scaler: s}); err == nil {
+		t.Error("empty source accepted")
+	}
+}
+
+func TestCraftDecomposedHitsTarget(t *testing.T) {
+	for _, alg := range []scaling.Algorithm{scaling.Nearest, scaling.Bilinear, scaling.Bicubic} {
+		t.Run(alg.String(), func(t *testing.T) {
+			s := mustScaler(t, 64, 64, 16, 16, alg)
+			src := smoothImage(21, 64, 64, 3)
+			tgt := smoothImage(22, 16, 16, 3)
+			res, err := CraftDecomposed(src, tgt, Config{Scaler: s, Eps: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MaxViolation > 3.2 {
+				t.Errorf("decomposed L∞ = %v, want <= eps (+tol)", res.MaxViolation)
+			}
+			lo, hi := res.Attack.MinMax()
+			if lo < 0 || hi > 255 {
+				t.Errorf("attack image range [%v,%v]", lo, hi)
+			}
+		})
+	}
+}
+
+func TestDecomposedAgreesWithJoint(t *testing.T) {
+	s := mustScaler(t, 64, 64, 16, 16, scaling.Bilinear)
+	src := smoothImage(23, 64, 64, 1)
+	tgt := smoothImage(24, 16, 16, 1)
+	joint, err := Craft(src, tgt, Config{Scaler: s, Eps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := CraftDecomposed(src, tgt, Config{Scaler: s, Eps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must be effective attacks; the joint solve should perturb no
+	// more than ~the decomposed one (it optimizes jointly).
+	if joint.MaxViolation > 3.1 || dec.MaxViolation > 3.2 {
+		t.Errorf("violations: joint %v, decomposed %v", joint.MaxViolation, dec.MaxViolation)
+	}
+	if joint.PerturbationMSE > 3*dec.PerturbationMSE+100 {
+		t.Errorf("joint perturbation %v much larger than decomposed %v",
+			joint.PerturbationMSE, dec.PerturbationMSE)
+	}
+	// Both stay visually close to the source.
+	for name, img := range map[string]*imgcore.Image{"joint": joint.Attack, "decomposed": dec.Attack} {
+		ssim, err := metrics.SSIM(img, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ssim < 0.4 {
+			t.Errorf("%s attack too visible: SSIM %v", name, ssim)
+		}
+	}
+}
+
+func TestDecomposedDetectableLikeJoint(t *testing.T) {
+	// The detectors must be solver-agnostic: a decomposed-solver attack
+	// leaves the same sparse comb, so its down/up residual is comparable.
+	s := mustScaler(t, 64, 64, 16, 16, scaling.Bilinear)
+	src := smoothImage(25, 64, 64, 1)
+	tgt := smoothImage(26, 16, 16, 1)
+	joint, err := Craft(src, tgt, Config{Scaler: s, Eps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := CraftDecomposed(src, tgt, Config{Scaler: s, Eps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(img *imgcore.Image) float64 {
+		t.Helper()
+		down, err := s.Resize(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		up, err := scaling.Resize(down, 64, 64, s.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := metrics.MSE(img, up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	benignScore := score(src)
+	jointScore := score(joint.Attack)
+	decScore := score(dec.Attack)
+	if jointScore < 3*benignScore || decScore < 3*benignScore {
+		t.Errorf("attack scores (joint %v, dec %v) not well above benign %v",
+			jointScore, decScore, benignScore)
+	}
+	if ratio := decScore / jointScore; ratio < 0.2 || ratio > 5 {
+		t.Errorf("solver scores diverge: joint %v vs decomposed %v", jointScore, decScore)
+	}
+}
+
+func TestDecomposedQuantizedIntegral(t *testing.T) {
+	s := mustScaler(t, 32, 32, 8, 8, scaling.Bilinear)
+	res, err := CraftDecomposed(smoothImage(27, 32, 32, 1), smoothImage(28, 8, 8, 1), Config{Scaler: s, Eps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Attack.Pix {
+		if v != math.Trunc(v) {
+			t.Fatalf("pixel %d = %v not integral", i, v)
+		}
+	}
+}
+
+func BenchmarkCraftDecomposed128to32(b *testing.B) {
+	s, err := scaling.NewScaler(128, 128, 32, 32, scaling.Options{Algorithm: scaling.Bilinear})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := smoothImage(1, 128, 128, 3)
+	tgt := smoothImage(2, 32, 32, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CraftDecomposed(src, tgt, Config{Scaler: s, Eps: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

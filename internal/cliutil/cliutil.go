@@ -1,0 +1,54 @@
+// Package cliutil holds the small helpers shared by the cmd/ front ends:
+// geometry parsing and calibration file I/O.
+package cliutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"decamouflage/internal/detect"
+)
+
+// ParseSize parses "WxH" (e.g. "224x224") into a width and height.
+func ParseSize(s string) (w, h int, err error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("cliutil: size %q is not WxH", s)
+	}
+	w, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("cliutil: bad width in %q: %w", s, err)
+	}
+	h, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("cliutil: bad height in %q: %w", s, err)
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("cliutil: size %q must be positive", s)
+	}
+	return w, h, nil
+}
+
+// SaveCalibration writes a calibration as indented JSON.
+func SaveCalibration(path string, c *detect.Calibration) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cliutil: marshal calibration: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cliutil: write calibration: %w", err)
+	}
+	return nil
+}
+
+// LoadCalibration reads a calibration JSON file.
+func LoadCalibration(path string) (*detect.Calibration, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cliutil: read calibration: %w", err)
+	}
+	return detect.UnmarshalCalibration(data)
+}

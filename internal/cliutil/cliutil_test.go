@@ -1,0 +1,56 @@
+package cliutil
+
+import (
+	"path/filepath"
+	"testing"
+
+	"decamouflage/internal/detect"
+)
+
+func TestParseSize(t *testing.T) {
+	tests := []struct {
+		in      string
+		w, h    int
+		wantErr bool
+	}{
+		{"224x224", 224, 224, false},
+		{"32X64", 32, 64, false},
+		{" 8x8 ", 8, 8, false},
+		{"224", 0, 0, true},
+		{"axb", 0, 0, true},
+		{"10x", 0, 0, true},
+		{"0x5", 0, 0, true},
+		{"-3x5", 0, 0, true},
+		{"3x5x7", 0, 0, true},
+	}
+	for _, tt := range tests {
+		w, h, err := ParseSize(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseSize(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && (w != tt.w || h != tt.h) {
+			t.Errorf("ParseSize(%q) = %dx%d, want %dx%d", tt.in, w, h, tt.w, tt.h)
+		}
+	}
+}
+
+func TestCalibrationFileRoundTrip(t *testing.T) {
+	c := detect.NewCalibration("white-box")
+	c.Set("scaling/MSE", detect.Threshold{Value: 1714.96, Direction: detect.Above})
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := SaveCalibration(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, ok := back.Get("scaling/MSE")
+	if !ok || th.Value != 1714.96 {
+		t.Errorf("round trip = %+v ok=%v", th, ok)
+	}
+	if _, err := LoadCalibration(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package cnn
+
+import (
+	"math"
+	"testing"
+
+	"decamouflage/internal/imgcore"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(Config{InputW: 4, InputH: 16, Classes: 2}); err == nil {
+		t.Error("tiny input accepted")
+	}
+	if _, err := NewNetwork(Config{InputW: 16, InputH: 16, Classes: 1}); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := NewNetwork(Config{InputW: 16, InputH: 16, Classes: 2, Conv1: -1}); err == nil {
+		t.Error("negative conv accepted")
+	}
+	n, err := NewNetwork(Config{InputW: 16, InputH: 16, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Config().Conv1 != 8 || n.Config().Conv2 != 16 {
+		t.Errorf("defaults = %+v", n.Config())
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	n, err := NewNetwork(Config{InputW: 16, InputH: 16, Classes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Predict(&imgcore.Image{}); err == nil {
+		t.Error("empty image accepted")
+	}
+	wrong := imgcore.MustNew(8, 8, 1)
+	if _, _, err := n.Predict(wrong); err == nil {
+		t.Error("wrong geometry accepted")
+	}
+	ok := imgcore.MustNew(16, 16, 3) // color converts via luminance
+	ok.Fill(128)
+	pred, probs, err := n.Predict(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 0 || pred >= 2 || len(probs) != 2 {
+		t.Errorf("pred=%d probs=%v", pred, probs)
+	}
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Errorf("prob %v out of range", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probs sum %v", sum)
+	}
+}
+
+func TestSoftmaxStable(t *testing.T) {
+	p := softmax([]float64{1000, 1000, 999})
+	var sum float64
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("softmax overflow")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum %v", sum)
+	}
+	if p[0] != p[1] || p[2] >= p[0] {
+		t.Errorf("ordering wrong: %v", p)
+	}
+}
+
+func TestShapeImages(t *testing.T) {
+	for class := 0; class < NumShapeClasses; class++ {
+		img := ShapeImage(class, 32, 7)
+		if err := img.Validate(); err != nil {
+			t.Fatalf("class %d: %v", class, err)
+		}
+		lo, hi := img.MinMax()
+		if lo < 0 || hi > 255 {
+			t.Fatalf("class %d out of range [%v,%v]", class, lo, hi)
+		}
+		if hi-lo < 60 {
+			t.Errorf("class %d low contrast (%v)", class, hi-lo)
+		}
+		if ShapeClassName(class) == "" {
+			t.Errorf("class %d unnamed", class)
+		}
+		// Deterministic.
+		again := ShapeImage(class, 32, 7)
+		for i := range img.Pix {
+			if img.Pix[i] != again.Pix[i] {
+				t.Fatalf("class %d not deterministic", class)
+			}
+		}
+	}
+	if ShapeClassName(99) == "" {
+		t.Error("unknown class unnamed")
+	}
+}
+
+func TestShapeDataset(t *testing.T) {
+	ds := ShapeDataset(3, 16, 1)
+	if len(ds) != 3*NumShapeClasses {
+		t.Fatalf("dataset size %d", len(ds))
+	}
+	counts := map[int]int{}
+	for _, s := range ds {
+		counts[s.Label]++
+		if s.Image.W != 16 {
+			t.Fatalf("sample size %d", s.Image.W)
+		}
+	}
+	for c := 0; c < NumShapeClasses; c++ {
+		if counts[c] != 3 {
+			t.Errorf("class %d count %d", c, counts[c])
+		}
+	}
+}
+
+// The load-bearing test: the network actually learns. A tiny config must
+// beat chance comfortably on held-out shapes after a short training run.
+func TestNetworkLearnsShapes(t *testing.T) {
+	n, err := NewNetwork(Config{InputW: 16, InputH: 16, Classes: NumShapeClasses, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := ShapeDataset(40, 16, 100)
+	test := ShapeDataset(10, 16, 900)
+	losses, err := n.Fit(train, TrainOptions{Epochs: 20, LearningRate: 0.005, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 20 {
+		t.Fatalf("loss history %v", losses)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Errorf("loss did not decrease: %v", losses)
+	}
+	acc, err := n.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 { // chance is 0.25
+		t.Errorf("held-out accuracy %v, want >= 0.8", acc)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	n, err := NewNetwork(Config{InputW: 16, InputH: 16, Classes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Fit(nil, TrainOptions{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	bad := []Sample{{Image: ShapeImage(0, 16, 1), Label: 5}}
+	if _, err := n.Fit(bad, TrainOptions{Epochs: 1}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	wrongSize := []Sample{{Image: ShapeImage(0, 8, 1), Label: 0}}
+	if _, err := n.Fit(wrongSize, TrainOptions{Epochs: 1}); err == nil {
+		t.Error("wrong-size sample accepted")
+	}
+	if _, err := n.Accuracy(nil); err == nil {
+		t.Error("empty eval set accepted")
+	}
+}
+
+// Gradient check: numerical vs analytic gradient on a micro network.
+func TestGradientCheck(t *testing.T) {
+	n, err := NewNetwork(Config{InputW: 12, InputH: 12, Classes: 2, Conv1: 2, Conv2: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := ShapeImage(ClassCircle, 12, 4)
+	label := 0
+
+	loss := func() float64 {
+		v, err := n.volumeFromImage(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits := n.forward(v)
+		p := softmax(logits.Data)
+		return -math.Log(math.Max(p[label], 1e-12))
+	}
+
+	// Analytic gradient for one conv weight and one dense weight.
+	v, err := n.volumeFromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := n.forward(v)
+	probs := softmax(logits.Data)
+	grad := NewVolume(1, 1, 2)
+	copy(grad.Data, probs)
+	grad.Data[label] -= 1
+	g := grad
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].backward(g)
+	}
+	conv := n.layers[0].(*conv2D)
+	dens := n.layers[6].(*dense)
+	checks := []struct {
+		name   string
+		w      *float64
+		gotVal float64
+	}{
+		{"conv w0", &conv.weights[0], conv.gradW[0]},
+		{"dense w0", &dens.weights[0], dens.gradW[0]},
+	}
+	const eps = 1e-5
+	for _, c := range checks {
+		orig := *c.w
+		*c.w = orig + eps
+		lp := loss()
+		*c.w = orig - eps
+		lm := loss()
+		*c.w = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-c.gotVal) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("%s: numeric %v vs analytic %v", c.name, numeric, c.gotVal)
+		}
+	}
+}
+
+func BenchmarkPredict32(b *testing.B) {
+	n, err := NewNetwork(Config{InputW: 32, InputH: 32, Classes: NumShapeClasses})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := ShapeImage(ClassSquare, 32, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.Predict(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

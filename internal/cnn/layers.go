@@ -1,0 +1,257 @@
+package cnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// layer is one differentiable stage of the network.
+type layer interface {
+	// forward computes the layer output for in, caching what backward
+	// needs.
+	forward(in *Volume) *Volume
+	// backward consumes the gradient w.r.t. the layer output and returns
+	// the gradient w.r.t. its input, accumulating parameter gradients.
+	backward(gradOut *Volume) *Volume
+	// update applies one SGD-with-momentum step and clears gradients.
+	update(lr, momentum float64)
+}
+
+// conv2D is a valid-padding convolution layer with square kernels.
+type conv2D struct {
+	inC, outC, k   int
+	weights        []float64 // [outC][inC][k][k]
+	bias           []float64
+	gradW          []float64
+	gradB          []float64
+	velW           []float64
+	velB           []float64
+	lastIn         *Volume
+	outW, outH     int
+	preparedShapes bool
+}
+
+func newConv2D(rng *rand.Rand, inC, outC, k int) *conv2D {
+	n := outC * inC * k * k
+	c := &conv2D{
+		inC: inC, outC: outC, k: k,
+		weights: make([]float64, n),
+		bias:    make([]float64, outC),
+		gradW:   make([]float64, n),
+		gradB:   make([]float64, outC),
+		velW:    make([]float64, n),
+		velB:    make([]float64, outC),
+	}
+	randn(rng, c.weights, math.Sqrt(2/float64(inC*k*k)))
+	return c
+}
+
+func (c *conv2D) wIdx(oc, ic, ky, kx int) int {
+	return ((oc*c.inC+ic)*c.k+ky)*c.k + kx
+}
+
+func (c *conv2D) forward(in *Volume) *Volume {
+	c.lastIn = in
+	c.outW = in.W - c.k + 1
+	c.outH = in.H - c.k + 1
+	out := NewVolume(c.outW, c.outH, c.outC)
+	for oc := 0; oc < c.outC; oc++ {
+		for y := 0; y < c.outH; y++ {
+			for x := 0; x < c.outW; x++ {
+				s := c.bias[oc]
+				for ic := 0; ic < c.inC; ic++ {
+					for ky := 0; ky < c.k; ky++ {
+						for kx := 0; kx < c.k; kx++ {
+							s += c.weights[c.wIdx(oc, ic, ky, kx)] * in.At(x+kx, y+ky, ic)
+						}
+					}
+				}
+				out.Set(x, y, oc, s)
+			}
+		}
+	}
+	return out
+}
+
+func (c *conv2D) backward(gradOut *Volume) *Volume {
+	in := c.lastIn
+	gradIn := NewVolume(in.W, in.H, in.C)
+	for oc := 0; oc < c.outC; oc++ {
+		for y := 0; y < c.outH; y++ {
+			for x := 0; x < c.outW; x++ {
+				g := gradOut.At(x, y, oc)
+				if g == 0 {
+					continue
+				}
+				c.gradB[oc] += g
+				for ic := 0; ic < c.inC; ic++ {
+					for ky := 0; ky < c.k; ky++ {
+						for kx := 0; kx < c.k; kx++ {
+							c.gradW[c.wIdx(oc, ic, ky, kx)] += g * in.At(x+kx, y+ky, ic)
+							gradIn.Data[(ic*in.H+y+ky)*in.W+x+kx] += g * c.weights[c.wIdx(oc, ic, ky, kx)]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+func (c *conv2D) update(lr, momentum float64) {
+	for i := range c.weights {
+		c.velW[i] = momentum*c.velW[i] - lr*c.gradW[i]
+		c.weights[i] += c.velW[i]
+		c.gradW[i] = 0
+	}
+	for i := range c.bias {
+		c.velB[i] = momentum*c.velB[i] - lr*c.gradB[i]
+		c.bias[i] += c.velB[i]
+		c.gradB[i] = 0
+	}
+}
+
+// relu is the rectified-linear activation.
+type relu struct {
+	lastIn *Volume
+}
+
+func (r *relu) forward(in *Volume) *Volume {
+	r.lastIn = in
+	out := in.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+func (r *relu) backward(gradOut *Volume) *Volume {
+	gradIn := gradOut.Clone()
+	for i, v := range r.lastIn.Data {
+		if v <= 0 {
+			gradIn.Data[i] = 0
+		}
+	}
+	return gradIn
+}
+
+func (r *relu) update(float64, float64) {}
+
+// maxPool2 is a 2x2 stride-2 max pooling layer.
+type maxPool2 struct {
+	lastIn  *Volume
+	argmax  []int
+	outW    int
+	outH    int
+	outChan int
+}
+
+func (p *maxPool2) forward(in *Volume) *Volume {
+	p.lastIn = in
+	p.outW = in.W / 2
+	p.outH = in.H / 2
+	p.outChan = in.C
+	out := NewVolume(p.outW, p.outH, in.C)
+	p.argmax = make([]int, len(out.Data))
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < p.outH; y++ {
+			for x := 0; x < p.outW; x++ {
+				best := math.Inf(-1)
+				bestIdx := 0
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := (c*in.H+2*y+dy)*in.W + 2*x + dx
+						if v := in.Data[idx]; v > best {
+							best = v
+							bestIdx = idx
+						}
+					}
+				}
+				oi := (c*p.outH+y)*p.outW + x
+				out.Data[oi] = best
+				p.argmax[oi] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+func (p *maxPool2) backward(gradOut *Volume) *Volume {
+	gradIn := NewVolume(p.lastIn.W, p.lastIn.H, p.lastIn.C)
+	for oi, src := range p.argmax {
+		gradIn.Data[src] += gradOut.Data[oi]
+	}
+	return gradIn
+}
+
+func (p *maxPool2) update(float64, float64) {}
+
+// dense is a fully-connected layer over the flattened input volume.
+type dense struct {
+	inN, outN int
+	weights   []float64 // [outN][inN]
+	bias      []float64
+	gradW     []float64
+	gradB     []float64
+	velW      []float64
+	velB      []float64
+	lastIn    *Volume
+}
+
+func newDense(rng *rand.Rand, inN, outN int) *dense {
+	d := &dense{
+		inN: inN, outN: outN,
+		weights: make([]float64, inN*outN),
+		bias:    make([]float64, outN),
+		gradW:   make([]float64, inN*outN),
+		gradB:   make([]float64, outN),
+		velW:    make([]float64, inN*outN),
+		velB:    make([]float64, outN),
+	}
+	randn(rng, d.weights, math.Sqrt(2/float64(inN)))
+	return d
+}
+
+func (d *dense) forward(in *Volume) *Volume {
+	d.lastIn = in
+	out := NewVolume(1, 1, d.outN)
+	for o := 0; o < d.outN; o++ {
+		s := d.bias[o]
+		row := d.weights[o*d.inN : (o+1)*d.inN]
+		for i, v := range in.Data {
+			s += row[i] * v
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+func (d *dense) backward(gradOut *Volume) *Volume {
+	gradIn := NewVolume(d.lastIn.W, d.lastIn.H, d.lastIn.C)
+	for o := 0; o < d.outN; o++ {
+		g := gradOut.Data[o]
+		d.gradB[o] += g
+		row := d.weights[o*d.inN : (o+1)*d.inN]
+		gw := d.gradW[o*d.inN : (o+1)*d.inN]
+		for i, v := range d.lastIn.Data {
+			gw[i] += g * v
+			gradIn.Data[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+func (d *dense) update(lr, momentum float64) {
+	for i := range d.weights {
+		d.velW[i] = momentum*d.velW[i] - lr*d.gradW[i]
+		d.weights[i] += d.velW[i]
+		d.gradW[i] = 0
+	}
+	for i := range d.bias {
+		d.velB[i] = momentum*d.velB[i] - lr*d.gradB[i]
+		d.bias[i] += d.velB[i]
+		d.gradB[i] = 0
+	}
+}

@@ -1,0 +1,242 @@
+package cnn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"decamouflage/internal/imgcore"
+)
+
+// Config describes the small classification network.
+type Config struct {
+	// InputW/InputH is the model's fixed input geometry — the size the
+	// preprocessing scaler must produce (the attack surface of the paper).
+	InputW, InputH int
+	// Classes is the number of output classes.
+	Classes int
+	// Conv1/Conv2 are the filter counts of the two conv blocks (defaults
+	// 8 and 16). Kernels are 3x3, each block followed by ReLU + 2x2 pool.
+	Conv1, Conv2 int
+	// Seed makes initialization deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Conv1 == 0 {
+		c.Conv1 = 8
+	}
+	if c.Conv2 == 0 {
+		c.Conv2 = 16
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.InputW < 8 || c.InputH < 8 {
+		return fmt.Errorf("cnn: input %dx%d too small (min 8x8)", c.InputW, c.InputH)
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("cnn: need at least 2 classes, got %d", c.Classes)
+	}
+	if c.Conv1 < 1 || c.Conv2 < 1 {
+		return fmt.Errorf("cnn: conv sizes must be positive")
+	}
+	return nil
+}
+
+// Network is a small sequential convnet: conv-relu-pool ×2, dense, softmax.
+type Network struct {
+	cfg    Config
+	layers []layer
+}
+
+// NewNetwork builds and initializes the network.
+func NewNetwork(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Geometry bookkeeping for the dense layer.
+	w, h := cfg.InputW, cfg.InputH
+	w, h = (w-2)/2, (h-2)/2 // conv k=3 then pool
+	w, h = (w-2)/2, (h-2)/2
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("cnn: input %dx%d collapses below 1x1", cfg.InputW, cfg.InputH)
+	}
+	n := &Network{cfg: cfg}
+	n.layers = []layer{
+		newConv2D(rng, 1, cfg.Conv1, 3),
+		&relu{},
+		&maxPool2{},
+		newConv2D(rng, cfg.Conv1, cfg.Conv2, 3),
+		&relu{},
+		&maxPool2{},
+		newDense(rng, w*h*cfg.Conv2, cfg.Classes),
+	}
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// errBadInput indicates an input whose geometry does not match the model.
+var errBadInput = errors.New("cnn: input geometry does not match the model")
+
+// volumeFromImage converts a pixel image into the network's normalized
+// grayscale input volume.
+func (n *Network) volumeFromImage(img *imgcore.Image) (*Volume, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	if img.W != n.cfg.InputW || img.H != n.cfg.InputH {
+		return nil, fmt.Errorf("%w: got %dx%d, want %dx%d",
+			errBadInput, img.W, img.H, n.cfg.InputW, n.cfg.InputH)
+	}
+	gray := img.Gray()
+	v := NewVolume(gray.W, gray.H, 1)
+	for i, p := range gray.Pix {
+		v.Data[i] = p/127.5 - 1 // [-1, 1]
+	}
+	return v, nil
+}
+
+// forward runs the network and returns the raw logits.
+func (n *Network) forward(v *Volume) *Volume {
+	for _, l := range n.layers {
+		v = l.forward(v)
+	}
+	return v
+}
+
+// Predict classifies an image, returning the class index and the softmax
+// probabilities.
+func (n *Network) Predict(img *imgcore.Image) (int, []float64, error) {
+	v, err := n.volumeFromImage(img)
+	if err != nil {
+		return 0, nil, err
+	}
+	logits := n.forward(v)
+	probs := softmax(logits.Data)
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best, probs, nil
+}
+
+// Sample is one labelled training example.
+type Sample struct {
+	Image *imgcore.Image
+	Label int
+}
+
+// TrainOptions configures Fit.
+type TrainOptions struct {
+	// Epochs over the training set (default 5).
+	Epochs int
+	// LearningRate for SGD (default 0.01) with Momentum (default 0.9).
+	LearningRate float64
+	Momentum     float64
+	// Seed shuffles the sample order deterministically.
+	Seed int64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 5
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.01
+	}
+	if o.Momentum == 0 {
+		o.Momentum = 0.9
+	}
+	return o
+}
+
+// Fit trains the network with plain SGD and returns the mean cross-entropy
+// loss of each epoch.
+func (n *Network) Fit(samples []Sample, opts TrainOptions) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("cnn: no training samples")
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	var losses []float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		for _, idx := range order {
+			s := samples[idx]
+			if s.Label < 0 || s.Label >= n.cfg.Classes {
+				return nil, fmt.Errorf("cnn: label %d out of range [0,%d)", s.Label, n.cfg.Classes)
+			}
+			v, err := n.volumeFromImage(s.Image)
+			if err != nil {
+				return nil, fmt.Errorf("cnn: sample %d: %w", idx, err)
+			}
+			logits := n.forward(v)
+			probs := softmax(logits.Data)
+			total += -math.Log(math.Max(probs[s.Label], 1e-12))
+			// Softmax + cross-entropy gradient: p - onehot.
+			grad := NewVolume(1, 1, n.cfg.Classes)
+			copy(grad.Data, probs)
+			grad.Data[s.Label] -= 1
+			g := grad
+			for i := len(n.layers) - 1; i >= 0; i-- {
+				g = n.layers[i].backward(g)
+			}
+			for _, l := range n.layers {
+				l.update(opts.LearningRate, opts.Momentum)
+			}
+		}
+		losses = append(losses, total/float64(len(samples)))
+	}
+	return losses, nil
+}
+
+// Accuracy evaluates classification accuracy over labelled samples.
+func (n *Network) Accuracy(samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("cnn: no samples")
+	}
+	correct := 0
+	for i, s := range samples {
+		pred, _, err := n.Predict(s.Image)
+		if err != nil {
+			return 0, fmt.Errorf("cnn: sample %d: %w", i, err)
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples)), nil
+}
+
+func softmax(logits []float64) []float64 {
+	mx := logits[0]
+	for _, v := range logits[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - mx)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

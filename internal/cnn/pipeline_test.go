@@ -1,0 +1,109 @@
+package cnn
+
+import (
+	"testing"
+
+	"decamouflage/internal/attack"
+	"decamouflage/internal/detect"
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/scaling"
+	"decamouflage/internal/steg"
+)
+
+// TestAttackFlipsModelAndDecamouflageBlocks is the paper's Figure 2 as an
+// integration test: the crafted image classifies as the cover class at
+// camera resolution semantics (it *looks* like the cover) yet the model —
+// which only ever sees the downscale — classifies it as the attacker's
+// target; the steganalysis detector blocks it without any calibration.
+func TestAttackFlipsModelAndDecamouflageBlocks(t *testing.T) {
+	const (
+		srcSize   = 64
+		modelSize = 16
+	)
+	model, err := NewNetwork(Config{InputW: modelSize, InputH: modelSize, Classes: NumShapeClasses, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Fit(ShapeDataset(40, modelSize, 100), TrainOptions{Epochs: 20, LearningRate: 0.005, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := model.Accuracy(ShapeDataset(10, modelSize, 900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Fatalf("model too weak for the pipeline test: %v", acc)
+	}
+
+	scaler, err := scaling.NewScaler(srcSize, srcSize, modelSize, modelSize,
+		scaling.Options{Algorithm: scaling.Bilinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classify := func(img *imgcore.Image) (int, error) {
+		down, err := scaler.Resize(img)
+		if err != nil {
+			return 0, err
+		}
+		pred, _, err := model.Predict(down.Quantize8())
+		return pred, err
+	}
+
+	cover := ShapeImage(ClassCircle, srcSize, 777)
+	benignPred, err := classify(cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benignPred != ClassCircle {
+		t.Skipf("model misclassifies this benign cover (pred %d); seed-dependent", benignPred)
+	}
+
+	// Find a target the model classifies as cross (models are imperfect).
+	var target *imgcore.Image
+	for seed := int64(779); seed < 790; seed++ {
+		cand := ShapeImage(ClassCross, modelSize, seed)
+		pred, _, err := model.Predict(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == ClassCross {
+			target = cand
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("model never recognizes a cross; training regression")
+	}
+
+	res, err := attack.Craft(cover, target, attack.Config{Scaler: scaler, Eps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackPred, err := classify(res.Attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attackPred != ClassCross {
+		t.Errorf("attack did not flip the model: pred %s", ShapeClassName(attackPred))
+	}
+
+	// The uncalibrated steganalysis detector blocks the attack.
+	det, err := detect.NewDetector(detect.NewStegScorer(steg.Options{}), detect.DefaultCSPThreshold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := det.Detect(res.Attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Attack {
+		t.Errorf("steganalysis missed the pipeline attack (CSP %v)", v.Score)
+	}
+	v, err = det.Detect(cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Attack {
+		t.Errorf("steganalysis flagged the benign cover (CSP %v)", v.Score)
+	}
+}

@@ -1,0 +1,74 @@
+package cnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// snapshot is the JSON wire format of a trained network.
+type snapshot struct {
+	Config  Config      `json:"config"`
+	Weights [][]float64 `json:"weights"` // conv1 w, conv1 b, conv2 w, conv2 b, dense w, dense b
+}
+
+// paramSlices returns the network's parameter tensors in a fixed order.
+func (n *Network) paramSlices() [][]float64 {
+	c1 := n.layers[0].(*conv2D)
+	c2 := n.layers[3].(*conv2D)
+	d := n.layers[6].(*dense)
+	return [][]float64{c1.weights, c1.bias, c2.weights, c2.bias, d.weights, d.bias}
+}
+
+// MarshalJSON serializes the configuration and trained weights.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	s := snapshot{Config: n.cfg}
+	for _, p := range n.paramSlices() {
+		s.Weights = append(s.Weights, append([]float64(nil), p...))
+	}
+	return json.Marshal(s)
+}
+
+// LoadNetwork reconstructs a trained network from MarshalJSON output.
+func LoadNetwork(data []byte) (*Network, error) {
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("cnn: parse snapshot: %w", err)
+	}
+	n, err := NewNetwork(s.Config)
+	if err != nil {
+		return nil, err
+	}
+	params := n.paramSlices()
+	if len(s.Weights) != len(params) {
+		return nil, fmt.Errorf("cnn: snapshot has %d tensors, want %d", len(s.Weights), len(params))
+	}
+	for i, p := range params {
+		if len(s.Weights[i]) != len(p) {
+			return nil, fmt.Errorf("cnn: tensor %d has %d values, want %d", i, len(s.Weights[i]), len(p))
+		}
+		copy(p, s.Weights[i])
+	}
+	return n, nil
+}
+
+// Save writes the trained network to a JSON file.
+func (n *Network) Save(path string) error {
+	data, err := n.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("cnn: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("cnn: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a trained network from a JSON file.
+func Load(path string) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cnn: load: %w", err)
+	}
+	return LoadNetwork(data)
+}

@@ -1,0 +1,97 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"decamouflage/internal/imgcore"
+)
+
+// Shape classes of the synthetic classification task.
+const (
+	ClassCircle = iota
+	ClassSquare
+	ClassTriangle
+	ClassCross
+	// NumShapeClasses is the class count of the shape dataset.
+	NumShapeClasses
+)
+
+// ShapeClassName returns a human-readable class label.
+func ShapeClassName(class int) string {
+	switch class {
+	case ClassCircle:
+		return "circle"
+	case ClassSquare:
+		return "square"
+	case ClassTriangle:
+		return "triangle"
+	case ClassCross:
+		return "cross"
+	default:
+		return fmt.Sprintf("class-%d", class)
+	}
+}
+
+// ShapeImage renders one sample of the given class: a bright shape with
+// randomized position/size/intensity on a noisy dark background. Images
+// are size×size grayscale (C=1), deterministic in (class, seed).
+func ShapeImage(class, size int, seed int64) *imgcore.Image {
+	rng := rand.New(rand.NewSource(seed*int64(NumShapeClasses+1) + int64(class)))
+	img := imgcore.MustNew(size, size, 1)
+	bg := 20 + rng.Float64()*40
+	for i := range img.Pix {
+		img.Pix[i] = bg + rng.NormFloat64()*8
+	}
+	fg := 160 + rng.Float64()*80
+	cx := float64(size)*0.5 + (rng.Float64()-0.5)*float64(size)*0.25
+	cy := float64(size)*0.5 + (rng.Float64()-0.5)*float64(size)*0.25
+	r := float64(size) * (0.2 + rng.Float64()*0.12)
+
+	inShape := func(x, y float64) bool {
+		dx, dy := x-cx, y-cy
+		switch class {
+		case ClassCircle:
+			return dx*dx+dy*dy <= r*r
+		case ClassSquare:
+			return math.Abs(dx) <= r*0.85 && math.Abs(dy) <= r*0.85
+		case ClassTriangle:
+			// Upward triangle: inside when below the two slanted edges.
+			if dy < -r || dy > r*0.8 {
+				return false
+			}
+			halfWidth := (dy + r) / (1.8 * r) * r * 1.1
+			return math.Abs(dx) <= halfWidth
+		case ClassCross:
+			arm := r * 0.35
+			return (math.Abs(dx) <= arm && math.Abs(dy) <= r) ||
+				(math.Abs(dy) <= arm && math.Abs(dx) <= r)
+		default:
+			return false
+		}
+	}
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			if inShape(float64(x), float64(y)) {
+				img.Pix[y*size+x] = fg + rng.NormFloat64()*6
+			}
+		}
+	}
+	return img.Clamp8().Quantize8()
+}
+
+// ShapeDataset produces n labelled samples per class at the given size,
+// deterministically from seed.
+func ShapeDataset(nPerClass, size int, seed int64) []Sample {
+	out := make([]Sample, 0, nPerClass*NumShapeClasses)
+	for class := 0; class < NumShapeClasses; class++ {
+		for i := 0; i < nPerClass; i++ {
+			out = append(out, Sample{
+				Image: ShapeImage(class, size, seed+int64(i)),
+				Label: class,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Package cnn is a small, self-contained convolutional neural network —
+// the downstream consumer the image-scaling attack ultimately fools. The
+// paper's pipeline (Figure 2) ends at "the CNN model sees the target"; this
+// package closes that loop end to end: a tiny convnet trained on synthetic
+// shapes classifies the downscaled images, so examples and experiments can
+// demonstrate the actual misclassification an attack causes and the save
+// Decamouflage provides.
+//
+// The implementation is deliberately minimal (conv / ReLU / max-pool /
+// dense / softmax, SGD with momentum, float64 throughout) but complete:
+// forward, backward, and training are all from scratch on the standard
+// library.
+package cnn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Volume is a 3-D activation tensor in channel-major order:
+// Data[(c*H + y)*W + x].
+type Volume struct {
+	W, H, C int
+	Data    []float64
+}
+
+// NewVolume returns a zero volume of the given geometry.
+func NewVolume(w, h, c int) *Volume {
+	return &Volume{W: w, H: h, C: c, Data: make([]float64, w*h*c)}
+}
+
+// At returns the activation at (x, y, c).
+func (v *Volume) At(x, y, c int) float64 { return v.Data[(c*v.H+y)*v.W+x] }
+
+// Set writes the activation at (x, y, c).
+func (v *Volume) Set(x, y, c int, val float64) { v.Data[(c*v.H+y)*v.W+x] = val }
+
+// Clone deep-copies the volume.
+func (v *Volume) Clone() *Volume {
+	out := &Volume{W: v.W, H: v.H, C: v.C, Data: make([]float64, len(v.Data))}
+	copy(out.Data, v.Data)
+	return out
+}
+
+// shapeEquals reports whether two volumes share geometry.
+func (v *Volume) shapeEquals(o *Volume) bool {
+	return v.W == o.W && v.H == o.H && v.C == o.C
+}
+
+// String implements fmt.Stringer.
+func (v *Volume) String() string {
+	return fmt.Sprintf("Volume(%dx%dx%d)", v.W, v.H, v.C)
+}
+
+// randn fills data with scaled Gaussian noise (He-style initialization).
+func randn(rng *rand.Rand, data []float64, scale float64) {
+	for i := range data {
+		data[i] = rng.NormFloat64() * scale
+	}
+}

@@ -1,0 +1,295 @@
+// Package dataset synthesizes deterministic natural-image corpora that
+// stand in for the paper's NeurIPS-2017 (threshold calibration) and
+// Caltech-256 (evaluation) datasets.
+//
+// Images are produced by spectral synthesis: a random-phase spectrum with a
+// power-law (1/f^α) amplitude envelope — the canonical statistical model of
+// natural-image spectra — inverted with the package's own FFT, then layered
+// with smooth gradients and soft-edged shapes. The two corpus
+// configurations draw their parameters (spectral slope, shape count,
+// contrast) from deliberately different distributions so that thresholds
+// calibrated on one corpus are genuinely tested out-of-distribution on the
+// other, preserving the paper's cross-dataset protocol.
+//
+// All three Decamouflage detectors key on low-level pixel statistics, not
+// semantics, so this substitution exercises the same code paths as the real
+// photo datasets (see DESIGN.md §2).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"decamouflage/internal/fourier"
+	"decamouflage/internal/imgcore"
+)
+
+// Corpus selects a generator configuration emulating a dataset family.
+type Corpus int
+
+// Supported corpora.
+const (
+	// NeurIPSLike emulates the NeurIPS-2017 adversarial-competition photos
+	// used by the paper to pick thresholds: high-resolution, texture-rich.
+	NeurIPSLike Corpus = iota + 1
+	// CaltechLike emulates Caltech-256 evaluation photos: object-centric,
+	// higher contrast, more distinct shapes.
+	CaltechLike
+)
+
+// String implements fmt.Stringer.
+func (c Corpus) String() string {
+	switch c {
+	case NeurIPSLike:
+		return "neurips-like"
+	case CaltechLike:
+		return "caltech-like"
+	default:
+		return fmt.Sprintf("Corpus(%d)", int(c))
+	}
+}
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Corpus selects the parameter distribution. Required.
+	Corpus Corpus
+	// W, H, C are the generated image geometry. Required.
+	W, H, C int
+	// Seed makes the whole corpus deterministic. Image i depends only on
+	// (Corpus, Seed, i).
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Corpus != NeurIPSLike && c.Corpus != CaltechLike {
+		return fmt.Errorf("dataset: unknown corpus %d", int(c.Corpus))
+	}
+	if c.W <= 0 || c.H <= 0 {
+		return fmt.Errorf("dataset: invalid geometry %dx%d", c.W, c.H)
+	}
+	if c.C != 1 && c.C != 3 {
+		return fmt.Errorf("dataset: channels must be 1 or 3, got %d", c.C)
+	}
+	return nil
+}
+
+// Generator deterministically produces corpus images by index.
+// It is safe for concurrent use: Image derives all state from its argument.
+type Generator struct {
+	cfg Config
+}
+
+// NewGenerator validates cfg and returns a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg}, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Image produces the i-th image of the corpus.
+func (g *Generator) Image(i int) *imgcore.Image {
+	rng := rand.New(rand.NewSource(mix(g.cfg.Seed, int64(g.cfg.Corpus), int64(i))))
+	return g.render(rng)
+}
+
+// Batch produces images [0, n).
+func (g *Generator) Batch(n int) []*imgcore.Image {
+	out := make([]*imgcore.Image, n)
+	for i := range out {
+		out[i] = g.Image(i)
+	}
+	return out
+}
+
+// mix combines seed material with splitmix64 so nearby indices decorrelate.
+func mix(vals ...int64) int64 {
+	var z uint64 = 0x9E3779B97F4A7C15
+	for _, v := range vals {
+		z ^= uint64(v) + 0x9E3779B97F4A7C15 + (z << 6) + (z >> 2)
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+	}
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// params holds the per-image randomized rendering parameters, drawn from
+// corpus-dependent distributions.
+type params struct {
+	alpha        float64 // spectral slope 1/f^alpha
+	textureScale float64 // texture contrast
+	shapes       int     // number of soft shapes
+	shapeAmp     float64 // shape contrast
+	gradAmp      float64 // global gradient amplitude
+	chroma       float64 // channel decorrelation
+}
+
+func (g *Generator) draw(rng *rand.Rand) params {
+	switch g.cfg.Corpus {
+	case CaltechLike:
+		return params{
+			alpha:        1.6 + rng.Float64()*0.6,
+			textureScale: 18 + rng.Float64()*22,
+			shapes:       2 + rng.Intn(5),
+			shapeAmp:     40 + rng.Float64()*60,
+			gradAmp:      10 + rng.Float64()*35,
+			chroma:       0.35 + rng.Float64()*0.4,
+		}
+	default: // NeurIPSLike
+		return params{
+			alpha:        1.9 + rng.Float64()*0.7,
+			textureScale: 25 + rng.Float64()*30,
+			shapes:       rng.Intn(3),
+			shapeAmp:     25 + rng.Float64()*40,
+			gradAmp:      15 + rng.Float64()*45,
+			chroma:       0.2 + rng.Float64()*0.35,
+		}
+	}
+}
+
+func (g *Generator) render(rng *rand.Rand) *imgcore.Image {
+	p := g.draw(rng)
+	w, h, c := g.cfg.W, g.cfg.H, g.cfg.C
+
+	tex := spectralField(rng, w, h, p.alpha)
+	normalizeField(tex, p.textureScale)
+
+	base := imgcore.MustNew(w, h, 1)
+	mean := 90 + rng.Float64()*80
+	gx := (rng.Float64()*2 - 1) * p.gradAmp
+	gy := (rng.Float64()*2 - 1) * p.gradAmp
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := mean + tex[y*w+x] +
+				gx*(float64(x)/float64(w)-0.5)*2 +
+				gy*(float64(y)/float64(h)-0.5)*2
+			base.Pix[y*w+x] = v
+		}
+	}
+	for s := 0; s < p.shapes; s++ {
+		addShape(base, rng, p.shapeAmp)
+	}
+
+	img := imgcore.MustNew(w, h, c)
+	if c == 1 {
+		copy(img.Pix, base.Pix)
+	} else {
+		// Channel offsets: shared luminance plus smooth per-channel tint.
+		for ch := 0; ch < 3; ch++ {
+			off := (rng.Float64()*2 - 1) * 40 * p.chroma
+			tilt := (rng.Float64()*2 - 1) * 25 * p.chroma
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					v := base.Pix[y*w+x] + off + tilt*(float64(x+y)/float64(w+h)-0.5)*2
+					img.Pix[(y*w+x)*3+ch] = v
+				}
+			}
+		}
+	}
+	return img.Quantize8()
+}
+
+// spectralField synthesizes a real 1/f^alpha random field of size w×h.
+func spectralField(rng *rand.Rand, w, h int, alpha float64) []float64 {
+	m, err := fourier.NewMatrix(w, h)
+	if err != nil {
+		// Geometry is pre-validated by Config.validate; this is unreachable
+		// in practice but kept defensive for direct callers.
+		return make([]float64, w*h)
+	}
+	for y := 0; y < h; y++ {
+		fy := float64(y)
+		if y > h/2 {
+			fy = float64(y - h)
+		}
+		for x := 0; x < w; x++ {
+			fx := float64(x)
+			if x > w/2 {
+				fx = float64(x - w)
+			}
+			f := math.Hypot(fx/float64(w), fy/float64(h))
+			if f == 0 {
+				continue // no DC: mean added separately
+			}
+			amp := math.Pow(f, -alpha/2)
+			phase := rng.Float64() * 2 * math.Pi
+			m.Set(x, y, complexFromPolar(amp, phase))
+		}
+	}
+	inv, err := fourier.IFFT2D(m)
+	if err != nil {
+		return make([]float64, w*h)
+	}
+	out := make([]float64, w*h)
+	for i, v := range inv.Data {
+		out[i] = real(v)
+	}
+	return out
+}
+
+func complexFromPolar(r, theta float64) complex128 {
+	return complex(r*math.Cos(theta), r*math.Sin(theta))
+}
+
+// normalizeField rescales a zero-ish-mean field to the given standard
+// deviation.
+func normalizeField(f []float64, std float64) {
+	var mean float64
+	for _, v := range f {
+		mean += v
+	}
+	mean /= float64(len(f))
+	var variance float64
+	for i := range f {
+		f[i] -= mean
+		variance += f[i] * f[i]
+	}
+	variance /= float64(len(f))
+	if variance == 0 {
+		return
+	}
+	k := std / math.Sqrt(variance)
+	for i := range f {
+		f[i] *= k
+	}
+}
+
+// addShape composites one soft-edged ellipse or rounded rectangle.
+func addShape(img *imgcore.Image, rng *rand.Rand, amp float64) {
+	w, h := img.W, img.H
+	cx := rng.Float64() * float64(w)
+	cy := rng.Float64() * float64(h)
+	rx := (0.08 + rng.Float64()*0.3) * float64(w)
+	ry := (0.08 + rng.Float64()*0.3) * float64(h)
+	val := (rng.Float64()*2 - 1) * amp
+	soft := 0.15 + rng.Float64()*0.3 // edge softness fraction
+	rect := rng.Intn(2) == 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var d float64
+			if rect {
+				dx := math.Abs(float64(x)-cx) / rx
+				dy := math.Abs(float64(y)-cy) / ry
+				d = math.Max(dx, dy)
+			} else {
+				dx := (float64(x) - cx) / rx
+				dy := (float64(y) - cy) / ry
+				d = math.Sqrt(dx*dx + dy*dy)
+			}
+			// Smoothstep falloff from 1 (inside) to 0 past the soft edge.
+			t := (1 + soft - d) / soft
+			if t <= 0 {
+				continue
+			}
+			if t > 1 {
+				t = 1
+			}
+			t = t * t * (3 - 2*t)
+			img.Pix[y*w+x] += val * t
+		}
+	}
+}

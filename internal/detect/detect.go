@@ -1,0 +1,308 @@
+// Package detect is the core of Decamouflage: the three image-scaling
+// attack detection methods of the paper (scaling, filtering, steganalysis),
+// their score metrics (MSE, SSIM, PSNR, CSP), threshold handling, white-box
+// and black-box calibration, and the majority-voting ensemble.
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"decamouflage/internal/filtering"
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/metrics"
+	"decamouflage/internal/scaling"
+	"decamouflage/internal/steg"
+)
+
+// Metric identifies a score function used by the spatial-domain methods.
+type Metric int
+
+// Supported metrics.
+const (
+	// MSE: mean squared error between the input and its transform
+	// (attack images score high).
+	MSE Metric = iota + 1
+	// SSIM: structural similarity (attack images score low).
+	SSIM
+	// PSNR: peak signal-to-noise ratio; included to reproduce the paper's
+	// Appendix-A negative result (not recommended for detection).
+	PSNR
+	// CSP: centered spectrum points (attack images score >= 2).
+	CSP
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MSE:
+		return "MSE"
+	case SSIM:
+		return "SSIM"
+	case PSNR:
+		return "PSNR"
+	case CSP:
+		return "CSP"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// AttackDirection returns the comparison direction under which high (Above)
+// or low (Below) scores indicate an attack for this metric.
+func (m Metric) AttackDirection() Direction {
+	switch m {
+	case SSIM, PSNR:
+		return Below
+	default:
+		return Above
+	}
+}
+
+// Direction tells which side of a threshold is classified as an attack.
+type Direction int
+
+// Directions. The paper's Algorithms 1-3 use "score >= T" uniformly, which
+// is correct for MSE and CSP but inverted for SSIM (their own Figure 7
+// shows attack SSIM below benign); Decamouflage is explicit about it.
+const (
+	// Above classifies score >= threshold as attack.
+	Above Direction = iota + 1
+	// Below classifies score <= threshold as attack.
+	Below
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Above:
+		return "above"
+	case Below:
+		return "below"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Threshold is a decision boundary over a scorer's output.
+type Threshold struct {
+	Value     float64   `json:"value"`
+	Direction Direction `json:"direction"`
+}
+
+// Classify reports whether score falls on the attack side.
+func (t Threshold) Classify(score float64) bool {
+	switch t.Direction {
+	case Below:
+		return score <= t.Value
+	default:
+		return score >= t.Value
+	}
+}
+
+// Validate checks the threshold is usable.
+func (t Threshold) Validate() error {
+	if t.Direction != Above && t.Direction != Below {
+		return fmt.Errorf("detect: invalid threshold direction %d", int(t.Direction))
+	}
+	return nil
+}
+
+// Verdict is a single method's decision about one image.
+type Verdict struct {
+	// Attack reports the classification.
+	Attack bool
+	// Score is the raw metric value the decision was made on.
+	Score float64
+	// Method names the detection method that produced the verdict.
+	Method string
+}
+
+// Scorer computes a raw detection score for an image. Implementations must
+// be safe for concurrent use.
+type Scorer interface {
+	// Name identifies the method/metric pair, e.g. "scaling/MSE".
+	Name() string
+	// Score computes the raw metric value for img.
+	Score(img *imgcore.Image) (float64, error)
+}
+
+// Interface compliance.
+var (
+	_ Scorer = (*ScalingScorer)(nil)
+	_ Scorer = (*FilteringScorer)(nil)
+	_ Scorer = (*StegScorer)(nil)
+)
+
+// ErrNilScaler indicates a scorer constructed without its scaler.
+var ErrNilScaler = errors.New("detect: scaler is required")
+
+// ScalingScorer implements the paper's Method 1: downscale the input with
+// the protected model's scaler, upscale back, and measure the dissimilarity
+// between the input and the round trip. Benign images survive the round
+// trip; attack images flip to the hidden target.
+type ScalingScorer struct {
+	scaler *scaling.Scaler
+	// upscaler is the prepared dst->src operator for inputs matching the
+	// scaler's source geometry; other sizes fall back to a fresh build.
+	upscaler *scaling.Scaler
+	metric   Metric
+}
+
+// NewScalingScorer builds the Method-1 scorer.
+func NewScalingScorer(scaler *scaling.Scaler, metric Metric) (*ScalingScorer, error) {
+	if scaler == nil {
+		return nil, ErrNilScaler
+	}
+	if metric != MSE && metric != SSIM && metric != PSNR {
+		return nil, fmt.Errorf("detect: scaling method does not support metric %v", metric)
+	}
+	srcW, srcH := scaler.SrcSize()
+	dstW, dstH := scaler.DstSize()
+	up, err := scaling.NewScaler(dstW, dstH, srcW, srcH, scaler.Options())
+	if err != nil {
+		return nil, fmt.Errorf("detect: prepare upscaler: %w", err)
+	}
+	return &ScalingScorer{scaler: scaler, upscaler: up, metric: metric}, nil
+}
+
+// Name implements Scorer.
+func (s *ScalingScorer) Name() string { return "scaling/" + s.metric.String() }
+
+// Score implements Scorer.
+func (s *ScalingScorer) Score(img *imgcore.Image) (float64, error) {
+	if err := img.Validate(); err != nil {
+		return 0, err
+	}
+	down, err := s.scaler.Resize(img)
+	if err != nil {
+		return 0, fmt.Errorf("detect: scaling downscale: %w", err)
+	}
+	var up *imgcore.Image
+	if upW, upH := s.upscaler.DstSize(); upW == img.W && upH == img.H {
+		up, err = s.upscaler.Resize(down)
+	} else {
+		up, err = scaling.Resize(down, img.W, img.H, s.scaler.Options())
+	}
+	if err != nil {
+		return 0, fmt.Errorf("detect: scaling upscale: %w", err)
+	}
+	return applyMetric(s.metric, img, up)
+}
+
+// FilteringScorer implements the paper's Method 2: apply a minimum filter
+// and measure the dissimilarity between the input and the filtered image.
+// The embedded target pixels are extreme values relative to their
+// neighborhood, so erosion damages attack images far more than benign ones.
+type FilteringScorer struct {
+	window int
+	metric Metric
+}
+
+// NewFilteringScorer builds the Method-2 scorer with the given minimum
+// filter window (the paper uses 2).
+func NewFilteringScorer(window int, metric Metric) (*FilteringScorer, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("detect: filter window %d < 2", window)
+	}
+	if metric != MSE && metric != SSIM && metric != PSNR {
+		return nil, fmt.Errorf("detect: filtering method does not support metric %v", metric)
+	}
+	return &FilteringScorer{window: window, metric: metric}, nil
+}
+
+// Name implements Scorer.
+func (s *FilteringScorer) Name() string { return "filtering/" + s.metric.String() }
+
+// Score implements Scorer.
+func (s *FilteringScorer) Score(img *imgcore.Image) (float64, error) {
+	if err := img.Validate(); err != nil {
+		return 0, err
+	}
+	f, err := filtering.Minimum(img, s.window)
+	if err != nil {
+		return 0, fmt.Errorf("detect: minimum filter: %w", err)
+	}
+	return applyMetric(s.metric, img, f)
+}
+
+// StegScorer implements the paper's Method 3: the CSP count in the
+// frequency domain (see internal/steg).
+type StegScorer struct {
+	opts steg.Options
+}
+
+// NewStegScorer builds the Method-3 scorer. Zero-valued options take the
+// calibrated defaults.
+func NewStegScorer(opts steg.Options) *StegScorer {
+	return &StegScorer{opts: opts}
+}
+
+// Name implements Scorer.
+func (s *StegScorer) Name() string { return "steganalysis/CSP" }
+
+// Score implements Scorer.
+func (s *StegScorer) Score(img *imgcore.Image) (float64, error) {
+	n, err := steg.CSP(img, s.opts)
+	if err != nil {
+		return 0, fmt.Errorf("detect: csp: %w", err)
+	}
+	return float64(n), nil
+}
+
+func applyMetric(m Metric, a, b *imgcore.Image) (float64, error) {
+	switch m {
+	case MSE:
+		return metrics.MSE(a, b)
+	case SSIM:
+		return metrics.SSIM(a, b)
+	case PSNR:
+		return metrics.PSNR(a, b)
+	default:
+		return 0, fmt.Errorf("detect: unsupported metric %v", m)
+	}
+}
+
+// Detector couples a scorer with a decision threshold — one deployable
+// detection method (the paper's Algorithms 1-3).
+type Detector struct {
+	scorer    Scorer
+	threshold Threshold
+}
+
+// NewDetector builds a detector; the threshold must be valid.
+func NewDetector(scorer Scorer, threshold Threshold) (*Detector, error) {
+	if scorer == nil {
+		return nil, errors.New("detect: scorer is required")
+	}
+	if err := threshold.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{scorer: scorer, threshold: threshold}, nil
+}
+
+// Name returns the underlying scorer's name.
+func (d *Detector) Name() string { return d.scorer.Name() }
+
+// Threshold returns the decision boundary.
+func (d *Detector) Threshold() Threshold { return d.threshold }
+
+// Detect scores img and classifies it.
+func (d *Detector) Detect(img *imgcore.Image) (Verdict, error) {
+	score, err := d.scorer.Score(img)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Attack: d.threshold.Classify(score),
+		Score:  score,
+		Method: d.scorer.Name(),
+	}, nil
+}
+
+// DefaultCSPThreshold is the paper's fixed steganalysis decision rule:
+// two or more centered spectrum points indicate an attack, with no
+// per-dataset calibration required.
+func DefaultCSPThreshold() Threshold {
+	return Threshold{Value: 2, Direction: Above}
+}

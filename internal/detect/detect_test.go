@@ -1,0 +1,263 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"decamouflage/internal/dataset"
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/scaling"
+	"decamouflage/internal/steg"
+)
+
+func mustScaler(t testing.TB, srcW, srcH, dstW, dstH int) *scaling.Scaler {
+	t.Helper()
+	s, err := scaling.NewScaler(srcW, srcH, dstW, dstH, scaling.Options{Algorithm: scaling.Bilinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func corpusImage(t testing.TB, seed int64, i, w, h int) *imgcore.Image {
+	t.Helper()
+	g, err := dataset.NewGenerator(dataset.Config{Corpus: dataset.CaltechLike, W: w, H: h, C: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Image(i)
+}
+
+func TestMetricStrings(t *testing.T) {
+	tests := []struct {
+		m    Metric
+		want string
+	}{
+		{MSE, "MSE"}, {SSIM, "SSIM"}, {PSNR, "PSNR"}, {CSP, "CSP"}, {Metric(9), "Metric(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+	if MSE.AttackDirection() != Above || CSP.AttackDirection() != Above {
+		t.Error("MSE/CSP attack direction should be Above")
+	}
+	if SSIM.AttackDirection() != Below || PSNR.AttackDirection() != Below {
+		t.Error("SSIM/PSNR attack direction should be Below")
+	}
+	if Above.String() != "above" || Below.String() != "below" {
+		t.Error("direction strings wrong")
+	}
+	if Direction(7).String() == "" {
+		t.Error("unknown direction String empty")
+	}
+}
+
+func TestThresholdClassify(t *testing.T) {
+	tests := []struct {
+		name  string
+		th    Threshold
+		score float64
+		want  bool
+	}{
+		{"above hit", Threshold{10, Above}, 11, true},
+		{"above equal", Threshold{10, Above}, 10, true},
+		{"above miss", Threshold{10, Above}, 9, false},
+		{"below hit", Threshold{0.5, Below}, 0.4, true},
+		{"below equal", Threshold{0.5, Below}, 0.5, true},
+		{"below miss", Threshold{0.5, Below}, 0.6, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.th.Classify(tt.score); got != tt.want {
+				t.Errorf("Classify(%v) = %v, want %v", tt.score, got, tt.want)
+			}
+		})
+	}
+	if err := (Threshold{1, Above}).Validate(); err != nil {
+		t.Errorf("valid threshold rejected: %v", err)
+	}
+	if err := (Threshold{}).Validate(); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestNewScorerValidation(t *testing.T) {
+	s := mustScaler(t, 64, 64, 16, 16)
+	if _, err := NewScalingScorer(nil, MSE); err == nil {
+		t.Error("nil scaler accepted")
+	}
+	if _, err := NewScalingScorer(s, CSP); err == nil {
+		t.Error("CSP metric accepted by scaling scorer")
+	}
+	if _, err := NewScalingScorer(s, Metric(0)); err == nil {
+		t.Error("zero metric accepted")
+	}
+	if _, err := NewFilteringScorer(1, MSE); err == nil {
+		t.Error("window 1 accepted")
+	}
+	if _, err := NewFilteringScorer(2, CSP); err == nil {
+		t.Error("CSP metric accepted by filtering scorer")
+	}
+}
+
+func TestScorerNames(t *testing.T) {
+	s := mustScaler(t, 64, 64, 16, 16)
+	ss, err := NewScalingScorer(s, MSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Name() != "scaling/MSE" {
+		t.Errorf("scaling name = %q", ss.Name())
+	}
+	fs, err := NewFilteringScorer(2, SSIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Name() != "filtering/SSIM" {
+		t.Errorf("filtering name = %q", fs.Name())
+	}
+	if NewStegScorer(steg.Options{}).Name() != "steganalysis/CSP" {
+		t.Errorf("steg name = %q", NewStegScorer(steg.Options{}).Name())
+	}
+}
+
+func TestScalingScorerBenignVsSelf(t *testing.T) {
+	s := mustScaler(t, 64, 64, 16, 16)
+	img := corpusImage(t, 1, 0, 64, 64)
+	ss, err := NewScalingScorer(s, MSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := ss.Score(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0 {
+		t.Errorf("MSE score negative: %v", score)
+	}
+	ssim, err := NewScalingScorer(s, SSIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sscore, err := ssim.Score(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sscore < 0.3 || sscore > 1 {
+		t.Errorf("benign scaling SSIM = %v, want high", sscore)
+	}
+	if _, err := ss.Score(&imgcore.Image{}); err == nil {
+		t.Error("empty image accepted by scaling scorer")
+	}
+}
+
+func TestFilteringScorerErrors(t *testing.T) {
+	fs, err := NewFilteringScorer(2, MSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Score(&imgcore.Image{}); err == nil {
+		t.Error("empty image accepted by filtering scorer")
+	}
+	img := corpusImage(t, 2, 0, 32, 32)
+	score, err := fs.Score(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0 {
+		t.Errorf("negative MSE %v", score)
+	}
+}
+
+func TestStegScorerErrors(t *testing.T) {
+	gs := NewStegScorer(steg.Options{BinarizeThreshold: 2})
+	img := corpusImage(t, 3, 0, 32, 32)
+	if _, err := gs.Score(img); err == nil {
+		t.Error("invalid steg options accepted")
+	}
+	gs = NewStegScorer(steg.Options{})
+	score, err := gs.Score(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != math.Trunc(score) || score < 0 {
+		t.Errorf("CSP score %v not a count", score)
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(nil, Threshold{1, Above}); err == nil {
+		t.Error("nil scorer accepted")
+	}
+	gs := NewStegScorer(steg.Options{})
+	if _, err := NewDetector(gs, Threshold{}); err == nil {
+		t.Error("invalid threshold accepted")
+	}
+	d, err := NewDetector(gs, DefaultCSPThreshold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "steganalysis/CSP" {
+		t.Errorf("detector name %q", d.Name())
+	}
+	if d.Threshold() != DefaultCSPThreshold() {
+		t.Errorf("threshold accessor = %+v", d.Threshold())
+	}
+}
+
+func TestDetectorDetect(t *testing.T) {
+	gs := NewStegScorer(steg.Options{})
+	d, err := NewDetector(gs, DefaultCSPThreshold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := corpusImage(t, 4, 0, 128, 128)
+	v, err := d.Detect(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Method != "steganalysis/CSP" {
+		t.Errorf("verdict method %q", v.Method)
+	}
+	if v.Attack {
+		t.Errorf("benign image flagged: %+v", v)
+	}
+	if _, err := d.Detect(&imgcore.Image{}); err == nil {
+		t.Error("empty image accepted")
+	}
+}
+
+func TestModelInputSizes(t *testing.T) {
+	sizes := ModelInputSizes()
+	if len(sizes) < 8 {
+		t.Fatalf("Table 1 has %d rows", len(sizes))
+	}
+	for _, s := range sizes {
+		if s.Model == "" || s.W <= 0 || s.H <= 0 {
+			t.Errorf("malformed row %+v", s)
+		}
+	}
+	if sizes[0].Model != "LeNet-5" || sizes[0].W != 32 {
+		t.Errorf("first row = %+v", sizes[0])
+	}
+}
+
+func TestScalingScorerOffGeometryInput(t *testing.T) {
+	// Inputs that do not match the prepared source geometry still score
+	// via the fallback rebuild path.
+	s := mustScaler(t, 64, 64, 16, 16)
+	ss, err := NewScalingScorer(s, MSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := corpusImage(t, 12, 0, 48, 40)
+	score, err := ss.Score(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0 {
+		t.Errorf("fallback score %v", score)
+	}
+}

@@ -1,0 +1,162 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/scaling"
+	"decamouflage/internal/steg"
+)
+
+// EnsembleVerdict is the combined decision of several detectors.
+type EnsembleVerdict struct {
+	// Attack is the majority-vote decision.
+	Attack bool
+	// Votes counts how many methods voted attack.
+	Votes int
+	// Verdicts holds the individual method decisions, in detector order.
+	Verdicts []Verdict
+}
+
+// Ensemble majority-votes several detectors, running them concurrently —
+// the deployable Decamouflage system of the paper's Figure 8 ("runs the
+// three methods yielding the decision individually in parallel, then
+// performs majority voting").
+type Ensemble struct {
+	detectors []*Detector
+}
+
+// NewEnsemble builds an ensemble. At least one detector is required; an odd
+// count avoids ties (ties break toward benign).
+func NewEnsemble(detectors ...*Detector) (*Ensemble, error) {
+	if len(detectors) == 0 {
+		return nil, errors.New("detect: ensemble needs at least one detector")
+	}
+	for i, d := range detectors {
+		if d == nil {
+			return nil, fmt.Errorf("detect: ensemble detector %d is nil", i)
+		}
+	}
+	return &Ensemble{detectors: append([]*Detector(nil), detectors...)}, nil
+}
+
+// Detectors returns the ensemble members.
+func (e *Ensemble) Detectors() []*Detector {
+	return append([]*Detector(nil), e.detectors...)
+}
+
+// Detect runs every member concurrently and majority-votes. It honours ctx
+// cancellation between and during method launches; the first scoring error
+// aborts the ensemble.
+func (e *Ensemble) Detect(ctx context.Context, img *imgcore.Image) (*EnsembleVerdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	verdicts := make([]Verdict, len(e.detectors))
+	errs := make([]error, len(e.detectors))
+	var wg sync.WaitGroup
+	for i, d := range e.detectors {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			v, err := d.Detect(img)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", d.Name(), err)
+				return
+			}
+			verdicts[i] = v
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	votes := 0
+	for _, v := range verdicts {
+		if v.Attack {
+			votes++
+		}
+	}
+	return &EnsembleVerdict{
+		Attack:   votes*2 > len(verdicts),
+		Votes:    votes,
+		Verdicts: verdicts,
+	}, nil
+}
+
+// DefaultConfig describes the canonical three-method Decamouflage ensemble
+// (the paper's recommended configuration): scaling/MSE, filtering/SSIM and
+// steganalysis/CSP.
+type DefaultConfig struct {
+	// Scaler is the protected model's scaling function. Required.
+	Scaler *scaling.Scaler
+	// FilterWindow is the minimum-filter size (default 2, the paper's).
+	FilterWindow int
+	// StegOptions tunes the CSP computation (zero value = calibrated
+	// defaults).
+	StegOptions steg.Options
+	// ScalingThreshold is the Method-1 boundary (from calibration).
+	ScalingThreshold Threshold
+	// FilteringThreshold is the Method-2 boundary (from calibration).
+	FilteringThreshold Threshold
+	// CSPThreshold is the Method-3 boundary; zero value uses the paper's
+	// fixed CSP >= 2 rule.
+	CSPThreshold Threshold
+	// ScalingMetric and FilteringMetric pick the score metrics; defaults
+	// follow the paper's recommendations (MSE for scaling, SSIM for
+	// filtering).
+	ScalingMetric   Metric
+	FilteringMetric Metric
+}
+
+// NewDefaultEnsemble assembles the canonical three-method system.
+func NewDefaultEnsemble(cfg DefaultConfig) (*Ensemble, error) {
+	if cfg.Scaler == nil {
+		return nil, ErrNilScaler
+	}
+	if cfg.FilterWindow == 0 {
+		cfg.FilterWindow = 2
+	}
+	if cfg.ScalingMetric == 0 {
+		cfg.ScalingMetric = MSE
+	}
+	if cfg.FilteringMetric == 0 {
+		cfg.FilteringMetric = SSIM
+	}
+	if cfg.CSPThreshold == (Threshold{}) {
+		cfg.CSPThreshold = DefaultCSPThreshold()
+	}
+	ss, err := NewScalingScorer(cfg.Scaler, cfg.ScalingMetric)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := NewDetector(ss, cfg.ScalingThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("detect: scaling detector: %w", err)
+	}
+	fs, err := NewFilteringScorer(cfg.FilterWindow, cfg.FilteringMetric)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := NewDetector(fs, cfg.FilteringThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("detect: filtering detector: %w", err)
+	}
+	gd, err := NewDetector(NewStegScorer(cfg.StegOptions), cfg.CSPThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("detect: steganalysis detector: %w", err)
+	}
+	return NewEnsemble(sd, fd, gd)
+}

@@ -1,0 +1,180 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"decamouflage/internal/scaling"
+	"decamouflage/internal/steg"
+)
+
+// SystemConfig is the complete, serializable description of a deployed
+// Decamouflage system: the protected pipeline's scaling function and the
+// calibrated decision thresholds for every enabled method. A config saved
+// after offline calibration is everything a gateway needs to reconstruct
+// the exact same ensemble at startup.
+type SystemConfig struct {
+	// SrcW/SrcH is the expected input geometry (0 = accept any; the
+	// scaling method rebuilds coefficients per size).
+	SrcW int `json:"src_w"`
+	SrcH int `json:"src_h"`
+	// DstW/DstH is the model input geometry.
+	DstW int `json:"dst_w"`
+	DstH int `json:"dst_h"`
+	// Algorithm names the scaling kernel ("bilinear", ...).
+	Algorithm string `json:"algorithm"`
+	// FilterWindow is the minimum-filter size (default 2).
+	FilterWindow int `json:"filter_window,omitempty"`
+	// Steg carries the CSP parameters (zero values = calibrated defaults).
+	Steg steg.Options `json:"steg,omitempty"`
+	// Thresholds maps method names ("scaling/MSE", "filtering/SSIM",
+	// "steganalysis/CSP") to their decision boundaries. Missing methods
+	// are omitted from the ensemble; a missing steganalysis entry uses the
+	// paper's fixed CSP >= 2 rule.
+	Thresholds map[string]Threshold `json:"thresholds"`
+}
+
+// Validate checks the config for structural problems.
+func (c *SystemConfig) Validate() error {
+	if c.DstW <= 0 || c.DstH <= 0 {
+		return fmt.Errorf("detect: system config needs positive dst geometry, got %dx%d", c.DstW, c.DstH)
+	}
+	if _, err := scaling.ParseAlgorithm(c.Algorithm); err != nil {
+		return fmt.Errorf("detect: system config: %w", err)
+	}
+	if c.FilterWindow < 0 || c.FilterWindow == 1 {
+		return fmt.Errorf("detect: system config filter window %d invalid", c.FilterWindow)
+	}
+	for name, th := range c.Thresholds {
+		if err := th.Validate(); err != nil {
+			return fmt.Errorf("detect: system config threshold %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// MarshalSystemConfig serializes the config as indented JSON.
+func MarshalSystemConfig(c *SystemConfig) ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// UnmarshalSystemConfig parses and validates a persisted config.
+func UnmarshalSystemConfig(data []byte) (*SystemConfig, error) {
+	var c SystemConfig
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("detect: parse system config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// BuildSystem instantiates the ensemble a SystemConfig describes. The
+// source geometry falls back to 4x the destination when unspecified (the
+// scaling scorer rebuilds coefficients for other input sizes anyway).
+func BuildSystem(c *SystemConfig) (*Ensemble, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	alg, err := scaling.ParseAlgorithm(c.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	srcW, srcH := c.SrcW, c.SrcH
+	if srcW <= 0 {
+		srcW = c.DstW * 4
+	}
+	if srcH <= 0 {
+		srcH = c.DstH * 4
+	}
+	scaler, err := scaling.NewScaler(srcW, srcH, c.DstW, c.DstH, scaling.Options{Algorithm: alg})
+	if err != nil {
+		return nil, err
+	}
+	window := c.FilterWindow
+	if window == 0 {
+		window = 2
+	}
+
+	var detectors []*Detector
+	if th, ok := c.Thresholds["scaling/MSE"]; ok {
+		s, err := NewScalingScorer(scaler, MSE)
+		if err != nil {
+			return nil, err
+		}
+		d, err := NewDetector(s, th)
+		if err != nil {
+			return nil, err
+		}
+		detectors = append(detectors, d)
+	}
+	if th, ok := c.Thresholds["scaling/SSIM"]; ok {
+		s, err := NewScalingScorer(scaler, SSIM)
+		if err != nil {
+			return nil, err
+		}
+		d, err := NewDetector(s, th)
+		if err != nil {
+			return nil, err
+		}
+		detectors = append(detectors, d)
+	}
+	if th, ok := c.Thresholds["filtering/MSE"]; ok {
+		s, err := NewFilteringScorer(window, MSE)
+		if err != nil {
+			return nil, err
+		}
+		d, err := NewDetector(s, th)
+		if err != nil {
+			return nil, err
+		}
+		detectors = append(detectors, d)
+	}
+	if th, ok := c.Thresholds["filtering/SSIM"]; ok {
+		s, err := NewFilteringScorer(window, SSIM)
+		if err != nil {
+			return nil, err
+		}
+		d, err := NewDetector(s, th)
+		if err != nil {
+			return nil, err
+		}
+		detectors = append(detectors, d)
+	}
+	stegTh, ok := c.Thresholds["steganalysis/CSP"]
+	if !ok {
+		stegTh = DefaultCSPThreshold()
+	}
+	sd, err := NewDetector(NewStegScorer(c.Steg), stegTh)
+	if err != nil {
+		return nil, err
+	}
+	detectors = append(detectors, sd)
+	return NewEnsemble(detectors...)
+}
+
+// MatchModels returns the known CNN model families (Table 1) whose input
+// geometry is within tol pixels of (w, h) — the forensic step that turns a
+// recovered attack-target size into "which deployed model was the attacker
+// aiming at".
+func MatchModels(w, h, tol int) []ModelInputSize {
+	var out []ModelInputSize
+	for _, m := range ModelInputSizes() {
+		dw := m.W - w
+		if dw < 0 {
+			dw = -dw
+		}
+		dh := m.H - h
+		if dh < 0 {
+			dh = -dh
+		}
+		if dw <= tol && dh <= tol {
+			out = append(out, m)
+		}
+	}
+	return out
+}

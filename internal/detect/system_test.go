@@ -1,0 +1,160 @@
+package detect
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"decamouflage/internal/steg"
+)
+
+func validConfig() *SystemConfig {
+	return &SystemConfig{
+		DstW: 16, DstH: 16,
+		Algorithm: "bilinear",
+		Thresholds: map[string]Threshold{
+			"scaling/MSE":    {Value: 500, Direction: Above},
+			"filtering/SSIM": {Value: 0.5, Direction: Below},
+		},
+	}
+}
+
+func TestSystemConfigValidate(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := validConfig()
+	bad.DstW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero dst accepted")
+	}
+	bad = validConfig()
+	bad.Algorithm = "bogus"
+	if err := bad.Validate(); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	bad = validConfig()
+	bad.FilterWindow = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("window 1 accepted")
+	}
+	bad = validConfig()
+	bad.Thresholds["x"] = Threshold{}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid threshold accepted")
+	}
+}
+
+func TestSystemConfigRoundTrip(t *testing.T) {
+	cfg := validConfig()
+	cfg.Steg = steg.Options{BinarizeThreshold: 0.7, MinArea: 8}
+	data, err := MarshalSystemConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSystemConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != "bilinear" || back.Steg.BinarizeThreshold != 0.7 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if _, err := UnmarshalSystemConfig([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := UnmarshalSystemConfig([]byte(`{"dst_w":0}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	bad := validConfig()
+	bad.DstH = -1
+	if _, err := MarshalSystemConfig(bad); err == nil {
+		t.Error("marshal of invalid config accepted")
+	}
+}
+
+func TestBuildSystem(t *testing.T) {
+	cfg := validConfig()
+	ens, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := ens.Detectors()
+	if len(ds) != 3 {
+		t.Fatalf("detector count = %d, want 3 (2 configured + steg default)", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		names[d.Name()] = true
+	}
+	for _, want := range []string{"scaling/MSE", "filtering/SSIM", "steganalysis/CSP"} {
+		if !names[want] {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Works end to end on a benign image.
+	img := corpusImage(t, 9, 0, 64, 64)
+	v, err := ens.Detect(context.Background(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Verdicts) != 3 {
+		t.Errorf("verdicts = %d", len(v.Verdicts))
+	}
+}
+
+func TestBuildSystemAllMethods(t *testing.T) {
+	cfg := validConfig()
+	cfg.Thresholds["scaling/SSIM"] = Threshold{Value: 0.4, Direction: Below}
+	cfg.Thresholds["filtering/MSE"] = Threshold{Value: 900, Direction: Above}
+	cfg.Thresholds["steganalysis/CSP"] = Threshold{Value: 3, Direction: Above}
+	cfg.SrcW, cfg.SrcH = 64, 64
+	cfg.FilterWindow = 3
+	ens, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Detectors()) != 5 {
+		t.Errorf("detector count = %d, want 5", len(ens.Detectors()))
+	}
+}
+
+func TestBuildSystemRejectsInvalid(t *testing.T) {
+	bad := validConfig()
+	bad.Algorithm = ""
+	if _, err := BuildSystem(bad); err == nil {
+		t.Error("invalid config accepted by BuildSystem")
+	}
+}
+
+func TestMatchModels(t *testing.T) {
+	hits := MatchModels(224, 224, 0)
+	if len(hits) < 4 {
+		t.Fatalf("224x224 matched %d models", len(hits))
+	}
+	for _, m := range hits {
+		if m.W != 224 || m.H != 224 {
+			t.Errorf("bad match %+v", m)
+		}
+	}
+	// Tolerance picks up AlexNet (227) too.
+	withTol := MatchModels(224, 224, 3)
+	if len(withTol) != len(hits)+1 {
+		t.Errorf("tol=3 matched %d, want %d", len(withTol), len(hits)+1)
+	}
+	found := false
+	for _, m := range withTol {
+		if strings.Contains(m.Model, "AlexNet") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("AlexNet not matched at tol=3")
+	}
+	if got := MatchModels(999, 999, 2); len(got) != 0 {
+		t.Errorf("bogus size matched %v", got)
+	}
+	// DAVE-2's non-square geometry.
+	if got := MatchModels(200, 66, 0); len(got) != 1 {
+		t.Errorf("DAVE-2 match = %v", got)
+	}
+}

@@ -1,0 +1,23 @@
+package detect
+
+// ModelInputSize records the fixed input geometry of a popular CNN model
+// family — the paper's Table 1, which motivates why downscaling (and hence
+// the attack surface) is ubiquitous.
+type ModelInputSize struct {
+	Model string
+	W, H  int
+}
+
+// ModelInputSizes reproduces the paper's Table 1.
+func ModelInputSizes() []ModelInputSize {
+	return []ModelInputSize{
+		{Model: "LeNet-5", W: 32, H: 32},
+		{Model: "VGG", W: 224, H: 224},
+		{Model: "ResNet", W: 224, H: 224},
+		{Model: "GoogleNet", W: 224, H: 224},
+		{Model: "MobileNet", W: 224, H: 224},
+		{Model: "AlexNet", W: 227, H: 227},
+		{Model: "Inception V3/V4", W: 299, H: 299},
+		{Model: "DAVE-2 Self-Driving", W: 200, H: 66},
+	}
+}

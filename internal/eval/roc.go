@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"errors"
+	"sort"
+
+	"decamouflage/internal/detect"
+)
+
+// ROCPoint is one operating point of a score-threshold detector.
+type ROCPoint struct {
+	// FPR is the false-positive rate (benign flagged as attack) and TPR
+	// the true-positive rate (attacks flagged) at this threshold.
+	FPR, TPR float64
+	// Threshold is the score boundary realizing the point.
+	Threshold float64
+}
+
+// ROC computes the receiver operating characteristic of a score metric
+// given labelled benign and attack score samples and the direction in
+// which larger/smaller scores indicate attacks. Points are ordered by
+// increasing FPR. The second return value is the area under the curve
+// (AUC) computed by the trapezoid rule; 1.0 is a perfect detector, 0.5 a
+// coin flip.
+func ROC(benign, attacks []float64, dir detect.Direction) ([]ROCPoint, float64, error) {
+	if len(benign) == 0 || len(attacks) == 0 {
+		return nil, 0, errors.New("eval: ROC needs both benign and attack scores")
+	}
+	if dir != detect.Above && dir != detect.Below {
+		return nil, 0, errors.New("eval: invalid ROC direction")
+	}
+	// Orient scores so that larger always means "more attack-like".
+	orient := func(x float64) float64 {
+		if dir == detect.Below {
+			return -x
+		}
+		return x
+	}
+	type sample struct {
+		score  float64
+		attack bool
+	}
+	samples := make([]sample, 0, len(benign)+len(attacks))
+	for _, s := range benign {
+		samples = append(samples, sample{orient(s), false})
+	}
+	for _, s := range attacks {
+		samples = append(samples, sample{orient(s), true})
+	}
+	// Descending score: thresholds sweep from strict to lax.
+	sort.Slice(samples, func(i, j int) bool { return samples[i].score > samples[j].score })
+
+	var points []ROCPoint
+	tp, fp := 0, 0
+	points = append(points, ROCPoint{FPR: 0, TPR: 0, Threshold: samples[0].score + 1})
+	for i := 0; i < len(samples); {
+		// Process ties together so the curve is well-defined.
+		j := i
+		for j < len(samples) && samples[j].score == samples[i].score {
+			if samples[j].attack {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		points = append(points, ROCPoint{
+			FPR:       float64(fp) / float64(len(benign)),
+			TPR:       float64(tp) / float64(len(attacks)),
+			Threshold: samples[i].score,
+		})
+		i = j
+	}
+	// Trapezoid AUC.
+	var auc float64
+	for i := 1; i < len(points); i++ {
+		auc += (points[i].FPR - points[i-1].FPR) * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return points, auc, nil
+}

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"decamouflage/internal/detect"
+)
+
+func TestROCPerfectSeparation(t *testing.T) {
+	benign := []float64{1, 2, 3}
+	attacks := []float64{10, 11, 12}
+	points, auc, err := ROC(benign, attacks, detect.Above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	if points[0].FPR != 0 || points[0].TPR != 0 {
+		t.Errorf("first point = %+v", points[0])
+	}
+	last := points[len(points)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("last point = %+v", last)
+	}
+}
+
+func TestROCBelowDirection(t *testing.T) {
+	// SSIM-like: attacks score LOW.
+	benign := []float64{0.9, 0.95, 0.99}
+	attacks := []float64{0.1, 0.2, 0.3}
+	_, auc, err := ROC(benign, attacks, detect.Below)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	// Same data with wrong direction is anti-separable.
+	_, auc, err = ROC(benign, attacks, detect.Above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc > 0.01 {
+		t.Errorf("wrong-direction AUC = %v, want ~0", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	// Identical distributions: AUC must be ~0.5.
+	var benign, attacks []float64
+	for i := 0; i < 500; i++ {
+		v := float64((i * 37) % 101)
+		if i%2 == 0 {
+			benign = append(benign, v)
+		} else {
+			attacks = append(attacks, v)
+		}
+	}
+	_, auc, err := ROC(benign, attacks, detect.Above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCTiesHandled(t *testing.T) {
+	benign := []float64{5, 5, 5, 5}
+	attacks := []float64{5, 5, 5, 5}
+	_, auc, err := ROC(benign, attacks, detect.Above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("all-ties AUC = %v, want exactly 0.5", auc)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	benign := []float64{1, 4, 2, 8, 3}
+	attacks := []float64{6, 9, 2, 7, 5}
+	points, _, err := ROC(benign, attacks, detect.Above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].FPR < points[i-1].FPR-1e-12 || points[i].TPR < points[i-1].TPR-1e-12 {
+			t.Fatalf("ROC not monotone at %d: %+v -> %+v", i, points[i-1], points[i])
+		}
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, _, err := ROC(nil, []float64{1}, detect.Above); err == nil {
+		t.Error("empty benign accepted")
+	}
+	if _, _, err := ROC([]float64{1}, nil, detect.Above); err == nil {
+		t.Error("empty attacks accepted")
+	}
+	if _, _, err := ROC([]float64{1}, []float64{2}, detect.Direction(0)); err == nil {
+		t.Error("invalid direction accepted")
+	}
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunX10(t *testing.T) {
+	var out strings.Builder
+	r := NewRunner(testConfig(t, &out))
+	if err := r.Run(context.Background(), "X10"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Threshold stability") {
+		t.Error("missing table")
+	}
+	t.Log(out.String())
+}

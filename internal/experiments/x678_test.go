@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunX678(t *testing.T) {
+	var out strings.Builder
+	r := NewRunner(testConfig(t, &out))
+	if err := r.Run(context.Background(), "X6", "X7", "X8"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Color histogram", "ROC AUC", "JPEG"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	t.Log(got)
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunX9(t *testing.T) {
+	var out strings.Builder
+	cfg := testConfig(t, &out)
+	cfg.N = 40
+	cfg.SrcW, cfg.SrcH, cfg.DstW, cfg.DstH = 128, 128, 32, 32
+	r := NewRunner(cfg)
+	if err := r.Run(context.Background(), "X9"); err != nil {
+		t.Fatal(err)
+	}
+	t.Log(out.String())
+	if !strings.Contains(out.String(), "Scale-ratio sweep") {
+		t.Error("missing table")
+	}
+}

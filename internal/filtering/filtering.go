@@ -1,0 +1,178 @@
+// Package filtering implements the spatial filters used by Decamouflage's
+// filtering-detection method and by the prevention baselines: rank filters
+// (minimum, maximum, median — the paper's Figure 4), box and Gaussian
+// smoothing. All filters use replicate border handling, matching OpenCV's
+// default BORDER_REPLICATE semantics for small kernels.
+package filtering
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"decamouflage/internal/imgcore"
+)
+
+// ErrBadWindow indicates an invalid filter window size.
+var ErrBadWindow = errors.New("filtering: window size must be a positive odd-or-even integer >= 2 for rank filters")
+
+// Minimum applies a size×size minimum filter (grayscale erosion) to each
+// channel independently: every output sample is the smallest sample in its
+// window. The paper uses the 2×2 minimum filter to strip the embedded
+// target pixels out of attack images.
+func Minimum(img *imgcore.Image, size int) (*imgcore.Image, error) {
+	return rankFilter(img, size, pickMin)
+}
+
+// Maximum applies a size×size maximum filter (grayscale dilation).
+func Maximum(img *imgcore.Image, size int) (*imgcore.Image, error) {
+	return rankFilter(img, size, pickMax)
+}
+
+// Median applies a size×size median filter.
+func Median(img *imgcore.Image, size int) (*imgcore.Image, error) {
+	return rankFilter(img, size, pickMedian)
+}
+
+// Rank applies a size×size rank filter selecting the k-th smallest sample
+// (k is zero-based) in each window.
+func Rank(img *imgcore.Image, size, k int) (*imgcore.Image, error) {
+	if k < 0 || k >= size*size {
+		return nil, fmt.Errorf("filtering: rank %d out of range [0,%d)", k, size*size)
+	}
+	return rankFilter(img, size, func(buf []float64) float64 {
+		sort.Float64s(buf)
+		return buf[k]
+	})
+}
+
+func pickMin(buf []float64) float64 {
+	m := buf[0]
+	for _, v := range buf[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func pickMax(buf []float64) float64 {
+	m := buf[0]
+	for _, v := range buf[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func pickMedian(buf []float64) float64 {
+	sort.Float64s(buf)
+	n := len(buf)
+	if n%2 == 1 {
+		return buf[n/2]
+	}
+	return (buf[n/2-1] + buf[n/2]) / 2
+}
+
+// rankFilter runs a generic sliding-window reduction. Window anchoring
+// follows the OpenCV convention: for even sizes the anchor is the top-left
+// sample of the window (offsets [0, size)), for odd sizes the window is
+// centered (offsets [-size/2, size/2]).
+func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64) (*imgcore.Image, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	if size < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadWindow, size)
+	}
+	lo := 0
+	if size%2 == 1 {
+		lo = -(size / 2)
+	}
+	hi := lo + size - 1
+
+	out := img.Clone()
+	buf := make([]float64, 0, size*size)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			for c := 0; c < img.C; c++ {
+				buf = buf[:0]
+				for dy := lo; dy <= hi; dy++ {
+					for dx := lo; dx <= hi; dx++ {
+						buf = append(buf, img.AtClamped(x+dx, y+dy, c))
+					}
+				}
+				out.Set(x, y, c, pick(buf))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Box applies a size×size mean filter.
+func Box(img *imgcore.Image, size int) (*imgcore.Image, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadWindow, size)
+	}
+	return rankFilter(img, size, func(buf []float64) float64 {
+		var s float64
+		for _, v := range buf {
+			s += v
+		}
+		return s / float64(len(buf))
+	})
+}
+
+// Gaussian applies Gaussian smoothing with the given radius and sigma to
+// each channel independently (separable implementation).
+func Gaussian(img *imgcore.Image, radius int, sigma float64) (*imgcore.Image, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	if radius < 1 || sigma <= 0 {
+		return nil, fmt.Errorf("filtering: invalid gaussian radius %d sigma %v", radius, sigma)
+	}
+	kern := make([]float64, 2*radius+1)
+	var sum float64
+	for i := -radius; i <= radius; i++ {
+		v := gaussAt(float64(i), sigma)
+		kern[i+radius] = v
+		sum += v
+	}
+	for i := range kern {
+		kern[i] /= sum
+	}
+	out := img.Clone()
+	tmp := img.Clone()
+	// Horizontal.
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			for c := 0; c < img.C; c++ {
+				var s float64
+				for k := -radius; k <= radius; k++ {
+					s += kern[k+radius] * img.AtClamped(x+k, y, c)
+				}
+				tmp.Set(x, y, c, s)
+			}
+		}
+	}
+	// Vertical.
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			for c := 0; c < img.C; c++ {
+				var s float64
+				for k := -radius; k <= radius; k++ {
+					s += kern[k+radius] * tmp.AtClamped(x, y+k, c)
+				}
+				out.Set(x, y, c, s)
+			}
+		}
+	}
+	return out, nil
+}
+
+func gaussAt(x, sigma float64) float64 {
+	return math.Exp(-x * x / (2 * sigma * sigma))
+}

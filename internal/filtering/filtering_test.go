@@ -1,0 +1,314 @@
+package filtering
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"decamouflage/internal/imgcore"
+)
+
+func randImage(seed int64, w, h, c int) *imgcore.Image {
+	img := imgcore.MustNew(w, h, c)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float64() * 255
+	}
+	return img
+}
+
+func TestMinimumKnownValues(t *testing.T) {
+	img := imgcore.MustNew(3, 3, 1)
+	copy(img.Pix, []float64{
+		9, 8, 7,
+		6, 5, 4,
+		3, 2, 1,
+	})
+	out, err := Minimum(img, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x2 window anchored top-left: out(x,y) = min of (x..x+1, y..y+1).
+	want := []float64{
+		5, 4, 4,
+		2, 1, 1,
+		2, 1, 1,
+	}
+	for i := range want {
+		if out.Pix[i] != want[i] {
+			t.Errorf("min at %d = %v, want %v (got %v)", i, out.Pix[i], want[i], out.Pix)
+			break
+		}
+	}
+}
+
+func TestMaximumKnownValues(t *testing.T) {
+	img := imgcore.MustNew(3, 3, 1)
+	copy(img.Pix, []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	})
+	out, err := Maximum(img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3x3 centered window with replicate borders.
+	if out.At(1, 1, 0) != 9 {
+		t.Errorf("max center = %v, want 9", out.At(1, 1, 0))
+	}
+	if out.At(0, 0, 0) != 5 {
+		t.Errorf("max corner = %v, want 5", out.At(0, 0, 0))
+	}
+}
+
+func TestMedianKnownValues(t *testing.T) {
+	img := imgcore.MustNew(3, 1, 1)
+	copy(img.Pix, []float64{10, 0, 100})
+	out, err := Median(img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window at center: {10, 0, 100} -> 10.
+	if out.At(1, 0, 0) != 10 {
+		t.Errorf("median = %v, want 10", out.At(1, 0, 0))
+	}
+}
+
+func TestMedianEvenWindow(t *testing.T) {
+	img := imgcore.MustNew(2, 2, 1)
+	copy(img.Pix, []float64{1, 2, 3, 4})
+	out, err := Median(img, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top-left window covers all four: median of even count = (2+3)/2.
+	if out.At(0, 0, 0) != 2.5 {
+		t.Errorf("even median = %v, want 2.5", out.At(0, 0, 0))
+	}
+}
+
+func TestRankFilter(t *testing.T) {
+	img := imgcore.MustNew(3, 3, 1)
+	for i := range img.Pix {
+		img.Pix[i] = float64(i)
+	}
+	minOut, err := Rank(img, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin, err := Minimum(img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range minOut.Pix {
+		if minOut.Pix[i] != wantMin.Pix[i] {
+			t.Fatalf("Rank(0) != Minimum at %d", i)
+		}
+	}
+	maxOut, err := Rank(img, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMax, err := Maximum(img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range maxOut.Pix {
+		if maxOut.Pix[i] != wantMax.Pix[i] {
+			t.Fatalf("Rank(8) != Maximum at %d", i)
+		}
+	}
+	if _, err := Rank(img, 3, 9); err == nil {
+		t.Error("Rank out-of-range k = nil error")
+	}
+	if _, err := Rank(img, 3, -1); err == nil {
+		t.Error("Rank negative k = nil error")
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	img := randImage(1, 4, 4, 1)
+	for _, size := range []int{0, 1, -3} {
+		if _, err := Minimum(img, size); err == nil {
+			t.Errorf("Minimum(size=%d) = nil error", size)
+		}
+	}
+	if _, err := Minimum(&imgcore.Image{}, 2); err == nil {
+		t.Error("Minimum(empty) = nil error")
+	}
+	if _, err := Box(img, 1); err == nil {
+		t.Error("Box(size=1) = nil error")
+	}
+}
+
+// Property: min filter output <= input <= max filter output, everywhere.
+func TestMinMaxSandwichProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		img := randImage(seed, 9, 7, 3)
+		lo, err1 := Minimum(img, 2)
+		hi, err2 := Maximum(img, 2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range img.Pix {
+			if lo.Pix[i] > img.Pix[i]+1e-12 || hi.Pix[i] < img.Pix[i]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: erosion is monotone — if a <= b pointwise then min(a) <= min(b).
+func TestErosionMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randImage(seed, 8, 8, 1)
+		b := a.Clone()
+		rng := rand.New(rand.NewSource(seed + 7))
+		for i := range b.Pix {
+			b.Pix[i] += rng.Float64() * 50 // b >= a
+		}
+		ea, err1 := Minimum(a, 3)
+		eb, err2 := Minimum(b, 3)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range ea.Pix {
+			if ea.Pix[i] > eb.Pix[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all rank filters preserve constant images exactly.
+func TestRankFiltersPreserveConstants(t *testing.T) {
+	img := imgcore.MustNew(6, 6, 3)
+	img.Fill(77)
+	for name, fn := range map[string]func(*imgcore.Image, int) (*imgcore.Image, error){
+		"min": Minimum, "max": Maximum, "median": Median, "box": Box,
+	} {
+		out, err := fn(img, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, v := range out.Pix {
+			if math.Abs(v-77) > 1e-9 {
+				t.Fatalf("%s sample %d = %v", name, i, v)
+			}
+		}
+	}
+}
+
+func TestMinimumRemovesIsolatedBrightPixels(t *testing.T) {
+	// The filtering-detection insight: attack perturbations are isolated
+	// pixels; a min filter wipes isolated bright spikes entirely.
+	img := imgcore.MustNew(8, 8, 1)
+	img.Fill(50)
+	img.Set(3, 3, 0, 255)
+	img.Set(6, 2, 0, 255)
+	out, err := Minimum(img, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Pix {
+		if v != 50 {
+			t.Fatalf("bright spike survived min filter at %d: %v", i, v)
+		}
+	}
+}
+
+func TestGaussianSmoothing(t *testing.T) {
+	img := imgcore.MustNew(9, 9, 1)
+	img.Set(4, 4, 0, 255)
+	out, err := Gaussian(img, 2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(4, 4, 0) >= 255 {
+		t.Error("gaussian did not spread the impulse")
+	}
+	if out.At(4, 4, 0) <= out.At(4, 3, 0) {
+		t.Error("gaussian peak not at impulse location")
+	}
+	// Mass approximately preserved away from borders.
+	var sum float64
+	for _, v := range out.Pix {
+		sum += v
+	}
+	if math.Abs(sum-255) > 1e-6 {
+		t.Errorf("gaussian mass = %v, want 255", sum)
+	}
+}
+
+func TestGaussianValidation(t *testing.T) {
+	img := randImage(1, 4, 4, 1)
+	if _, err := Gaussian(img, 0, 1); err == nil {
+		t.Error("Gaussian(radius=0) = nil error")
+	}
+	if _, err := Gaussian(img, 2, 0); err == nil {
+		t.Error("Gaussian(sigma=0) = nil error")
+	}
+	if _, err := Gaussian(&imgcore.Image{}, 2, 1); err == nil {
+		t.Error("Gaussian(empty) = nil error")
+	}
+}
+
+func TestBoxFilterAverages(t *testing.T) {
+	img := imgcore.MustNew(2, 2, 1)
+	copy(img.Pix, []float64{0, 4, 8, 12})
+	out, err := Box(img, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0) != 6 {
+		t.Errorf("box(0,0) = %v, want 6", out.At(0, 0, 0))
+	}
+}
+
+func TestFiltersDoNotMutateInput(t *testing.T) {
+	img := randImage(5, 6, 6, 3)
+	snapshot := append([]float64(nil), img.Pix...)
+	if _, err := Minimum(img, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Gaussian(img, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Pix {
+		if img.Pix[i] != snapshot[i] {
+			t.Fatal("filter mutated its input")
+		}
+	}
+}
+
+func BenchmarkMinimum2x2_256(b *testing.B) {
+	img := randImage(1, 256, 256, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Minimum(img, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMedian3x3_256(b *testing.B) {
+	img := randImage(1, 256, 256, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Median(img, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package fourier implements the discrete Fourier transforms Decamouflage's
+// steganalysis method is built on: an iterative radix-2 FFT, Bluestein's
+// algorithm for arbitrary lengths, 2-D transforms, quadrant shifting
+// (fftshift) and the centered log-magnitude spectrum of Eq. 4 in the paper.
+//
+// Everything is implemented from scratch on []complex128; no external
+// numerical libraries are used.
+package fourier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrEmpty indicates a zero-length transform request.
+var ErrEmpty = errors.New("fourier: empty input")
+
+// FFT computes the forward discrete Fourier transform of x and returns a
+// new slice. Any length is supported: powers of two use the radix-2
+// Cooley-Tukey algorithm, other lengths fall back to Bluestein's chirp-z
+// algorithm (O(n log n) for all n).
+func FFT(x []complex128) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	out := append([]complex128(nil), x...)
+	if err := transform(out, false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IFFT computes the inverse discrete Fourier transform of x (with the 1/n
+// normalization) and returns a new slice.
+func IFFT(x []complex128) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	out := append([]complex128(nil), x...)
+	if err := transform(out, true); err != nil {
+		return nil, err
+	}
+	n := complex(float64(len(out)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+// transform runs an in-place unnormalized DFT (inverse flips the twiddle
+// sign and leaves scaling to the caller).
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 1 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return nil
+	}
+	return bluestein(x, inverse)
+}
+
+// radix2 is the iterative in-place Cooley-Tukey FFT for power-of-two sizes.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// expressing it as a convolution evaluated with a power-of-two FFT.
+func bluestein(x []complex128, inverse bool) error {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign * i*pi*k^2/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for very large n; reduce mod 2n first since the
+		// chirp phase is periodic with period 2n in k^2.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * chirp[k]
+	}
+	return nil
+}
+
+// Matrix is a dense complex matrix in row-major order, the working
+// representation for 2-D spectra.
+type Matrix struct {
+	W, H int
+	Data []complex128
+}
+
+// NewMatrix returns a zero-filled complex matrix.
+func NewMatrix(w, h int) (*Matrix, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("fourier: invalid matrix size %dx%d", w, h)
+	}
+	return &Matrix{W: w, H: h, Data: make([]complex128, w*h)}, nil
+}
+
+// At returns element (x, y).
+func (m *Matrix) At(x, y int) complex128 { return m.Data[y*m.W+x] }
+
+// Set writes element (x, y).
+func (m *Matrix) Set(x, y int, v complex128) { m.Data[y*m.W+x] = v }
+
+// FromReal builds a complex matrix from real row-major samples.
+func FromReal(data []float64, w, h int) (*Matrix, error) {
+	if len(data) != w*h {
+		return nil, fmt.Errorf("fourier: data length %d does not match %dx%d", len(data), w, h)
+	}
+	m, err := NewMatrix(w, h)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range data {
+		m.Data[i] = complex(v, 0)
+	}
+	return m, nil
+}
+
+// FFT2D computes the forward 2-D DFT (rows then columns) of m into a new
+// matrix.
+func FFT2D(m *Matrix) (*Matrix, error) {
+	return transform2D(m, false)
+}
+
+// IFFT2D computes the inverse 2-D DFT of m into a new matrix, including the
+// 1/(W*H) normalization.
+func IFFT2D(m *Matrix) (*Matrix, error) {
+	out, err := transform2D(m, true)
+	if err != nil {
+		return nil, err
+	}
+	n := complex(float64(m.W*m.H), 0)
+	for i := range out.Data {
+		out.Data[i] /= n
+	}
+	return out, nil
+}
+
+func transform2D(m *Matrix, inverse bool) (*Matrix, error) {
+	if m == nil || m.W == 0 || m.H == 0 {
+		return nil, ErrEmpty
+	}
+	out := &Matrix{W: m.W, H: m.H, Data: append([]complex128(nil), m.Data...)}
+	// Rows.
+	for y := 0; y < m.H; y++ {
+		row := out.Data[y*m.W : (y+1)*m.W]
+		if err := transform(row, inverse); err != nil {
+			return nil, err
+		}
+	}
+	// Columns.
+	col := make([]complex128, m.H)
+	for x := 0; x < m.W; x++ {
+		for y := 0; y < m.H; y++ {
+			col[y] = out.Data[y*m.W+x]
+		}
+		if err := transform(col, inverse); err != nil {
+			return nil, err
+		}
+		for y := 0; y < m.H; y++ {
+			out.Data[y*m.W+x] = col[y]
+		}
+	}
+	return out, nil
+}
+
+// Shift applies the fftshift quadrant swap so that the zero-frequency
+// component moves to the center of the matrix. It returns a new matrix.
+func Shift(m *Matrix) *Matrix {
+	out := &Matrix{W: m.W, H: m.H, Data: make([]complex128, len(m.Data))}
+	hw, hh := (m.W+1)/2, (m.H+1)/2
+	for y := 0; y < m.H; y++ {
+		ny := (y + m.H - hh) % m.H
+		for x := 0; x < m.W; x++ {
+			nx := (x + m.W - hw) % m.W
+			out.Data[ny*m.W+nx] = m.Data[y*m.W+x]
+		}
+	}
+	return out
+}
+
+// LogMagnitude returns log(1 + |F|) of every element as a real row-major
+// slice — the paper's Eq. 4 "logarithmic with a shift" spectrum intensity.
+func LogMagnitude(m *Matrix) []float64 {
+	out := make([]float64, len(m.Data))
+	for i, v := range m.Data {
+		out[i] = math.Log1p(cmplx.Abs(v))
+	}
+	return out
+}
+
+// CenteredSpectrum computes the centered log-magnitude spectrum of a real
+// 2-D signal: DFT, fftshift, then log(1+|F|), normalized to [0, 1] by the
+// spectrum's own maximum. This is the "centered spectrum" image the paper's
+// steganalysis method binarizes and runs contour counting on.
+func CenteredSpectrum(data []float64, w, h int) ([]float64, error) {
+	m, err := FromReal(data, w, h)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := FFT2D(m)
+	if err != nil {
+		return nil, err
+	}
+	logMag := LogMagnitude(Shift(spec))
+	var mx float64
+	for _, v := range logMag {
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx > 0 {
+		inv := 1 / mx
+		for i := range logMag {
+			logMag[i] *= inv
+		}
+	}
+	return logMag, nil
+}

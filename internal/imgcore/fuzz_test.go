@@ -1,0 +1,42 @@
+package imgcore
+
+import (
+	"bytes"
+	"image/png"
+	"io"
+	"testing"
+)
+
+func pngEncode(w io.Writer, img *Image) error {
+	return png.Encode(w, img.ToNRGBA())
+}
+
+// FuzzDecode ensures arbitrary byte streams never panic the decoder and
+// that every successfully decoded image passes validation.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid tiny PNG and assorted junk.
+	img := MustNew(3, 2, 3)
+	img.Pix[0] = 255
+	var buf bytes.Buffer
+	if err := encodePNGForFuzz(&buf, img); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("not an image"))
+	f.Add([]byte{0x89, 0x50, 0x4E, 0x47})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := decoded.Validate(); verr != nil {
+			t.Fatalf("decoded image fails validation: %v", verr)
+		}
+	})
+}
+
+func encodePNGForFuzz(buf *bytes.Buffer, img *Image) error {
+	// SavePNG writes to disk; reuse the NRGBA bridge with the png encoder.
+	return pngEncode(buf, img)
+}

@@ -1,0 +1,207 @@
+// Package metrics implements the image-similarity measures Decamouflage's
+// detectors score with: mean squared error (MSE), the structural similarity
+// index (SSIM, Wang et al. 2004, Gaussian-window form), and peak
+// signal-to-noise ratio (PSNR, kept for the paper's Appendix-A negative
+// result).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"decamouflage/internal/imgcore"
+)
+
+// ErrShapeMismatch indicates two images of different geometry.
+var ErrShapeMismatch = errors.New("metrics: images must have identical shape")
+
+func checkPair(a, b *imgcore.Image) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if !a.SameShape(b) {
+		return fmt.Errorf("%w: %v vs %v", ErrShapeMismatch, a, b)
+	}
+	return nil
+}
+
+// MSE returns the mean squared error between a and b over all samples
+// (Eq. 5 in the paper).
+func MSE(a, b *imgcore.Image) (float64, error) {
+	if err := checkPair(a, b); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range a.Pix {
+		d := a.Pix[i] - b.Pix[i]
+		s += d * d
+	}
+	return s / float64(len(a.Pix)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in decibels with L = 256
+// intensity levels (Eq. 9 in the paper). Identical images yield +Inf.
+func PSNR(a, b *imgcore.Image) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	const peak = 255.0
+	return 10 * math.Log10(peak*peak/mse), nil
+}
+
+// SSIMOptions configures the structural similarity computation.
+type SSIMOptions struct {
+	// WindowRadius is the Gaussian window radius; the window is
+	// (2r+1)x(2r+1). The standard configuration is r=5 (11x11).
+	WindowRadius int
+	// Sigma is the Gaussian window standard deviation (standard: 1.5).
+	Sigma float64
+	// K1, K2 are the stabilization constants (standard: 0.01, 0.03).
+	K1, K2 float64
+	// L is the dynamic range of pixel values (255 for 8-bit).
+	L float64
+}
+
+// DefaultSSIM returns the canonical SSIM parameters from Wang et al.
+func DefaultSSIM() SSIMOptions {
+	return SSIMOptions{WindowRadius: 5, Sigma: 1.5, K1: 0.01, K2: 0.03, L: 255}
+}
+
+func (o SSIMOptions) validate() error {
+	if o.WindowRadius < 1 {
+		return fmt.Errorf("metrics: window radius %d < 1", o.WindowRadius)
+	}
+	if o.Sigma <= 0 {
+		return fmt.Errorf("metrics: sigma %v <= 0", o.Sigma)
+	}
+	if o.L <= 0 {
+		return fmt.Errorf("metrics: dynamic range %v <= 0", o.L)
+	}
+	return nil
+}
+
+// SSIM returns the mean structural similarity index between a and b using
+// the default parameters. Color images are scored on their luminance, the
+// standard convention.
+func SSIM(a, b *imgcore.Image) (float64, error) {
+	return SSIMWith(a, b, DefaultSSIM())
+}
+
+// SSIMWith returns the mean SSIM index with explicit parameters.
+//
+// The implementation follows the reference algorithm: per-pixel local
+// means, variances and covariance computed with a separable Gaussian
+// window, combined via
+//
+//	SSIM = ((2·μaμb + c1)(2·σab + c2)) / ((μa² + μb² + c1)(σa² + σb² + c2))
+//
+// and averaged over all pixel positions.
+func SSIMWith(a, b *imgcore.Image, opts SSIMOptions) (float64, error) {
+	if err := checkPair(a, b); err != nil {
+		return 0, err
+	}
+	if err := opts.validate(); err != nil {
+		return 0, err
+	}
+	ga, gb := a.Gray(), b.Gray()
+	w, h := ga.W, ga.H
+
+	kern := gaussianKernel(opts.WindowRadius, opts.Sigma)
+
+	muA := blurSeparable(ga.Pix, w, h, kern)
+	muB := blurSeparable(gb.Pix, w, h, kern)
+
+	n := w * h
+	aa := make([]float64, n)
+	bb := make([]float64, n)
+	ab := make([]float64, n)
+	for i := 0; i < n; i++ {
+		aa[i] = ga.Pix[i] * ga.Pix[i]
+		bb[i] = gb.Pix[i] * gb.Pix[i]
+		ab[i] = ga.Pix[i] * gb.Pix[i]
+	}
+	sAA := blurSeparable(aa, w, h, kern)
+	sBB := blurSeparable(bb, w, h, kern)
+	sAB := blurSeparable(ab, w, h, kern)
+
+	c1 := (opts.K1 * opts.L) * (opts.K1 * opts.L)
+	c2 := (opts.K2 * opts.L) * (opts.K2 * opts.L)
+
+	var sum float64
+	for i := 0; i < n; i++ {
+		ma, mb := muA[i], muB[i]
+		varA := sAA[i] - ma*ma
+		varB := sBB[i] - mb*mb
+		cov := sAB[i] - ma*mb
+		num := (2*ma*mb + c1) * (2*cov + c2)
+		den := (ma*ma + mb*mb + c1) * (varA + varB + c2)
+		sum += num / den
+	}
+	return sum / float64(n), nil
+}
+
+// gaussianKernel returns a normalized 1-D Gaussian of radius r.
+func gaussianKernel(r int, sigma float64) []float64 {
+	k := make([]float64, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		k[i+r] = v
+		sum += v
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// blurSeparable convolves a single-channel image with a separable kernel
+// using replicate border handling.
+func blurSeparable(src []float64, w, h int, kern []float64) []float64 {
+	r := (len(kern) - 1) / 2
+	tmp := make([]float64, len(src))
+	// Horizontal.
+	for y := 0; y < h; y++ {
+		row := src[y*w : (y+1)*w]
+		out := tmp[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			var s float64
+			for k := -r; k <= r; k++ {
+				xx := x + k
+				if xx < 0 {
+					xx = 0
+				} else if xx >= w {
+					xx = w - 1
+				}
+				s += kern[k+r] * row[xx]
+			}
+			out[x] = s
+		}
+	}
+	// Vertical.
+	dst := make([]float64, len(src))
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			var s float64
+			for k := -r; k <= r; k++ {
+				yy := y + k
+				if yy < 0 {
+					yy = 0
+				} else if yy >= h {
+					yy = h - 1
+				}
+				s += kern[k+r] * tmp[yy*w+x]
+			}
+			dst[y*w+x] = s
+		}
+	}
+	return dst
+}

@@ -1,0 +1,123 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoordModeStrings(t *testing.T) {
+	if HalfPixel.String() != "half-pixel" || AlignCorners.String() != "align-corners" || Asymmetric.String() != "asymmetric" {
+		t.Error("coordinate mode names wrong")
+	}
+	if CoordMode(9).String() == "" {
+		t.Error("unknown mode String empty")
+	}
+}
+
+func TestUnknownCoordModeRejected(t *testing.T) {
+	if _, err := BuildCoeff(8, 4, Options{Algorithm: Bilinear, Coord: CoordMode(99)}); err == nil {
+		t.Error("unknown coordinate mode accepted")
+	}
+	if _, err := BuildCoeff(8, 4, Options{Algorithm: Nearest, Coord: CoordMode(99)}); err == nil {
+		t.Error("unknown coordinate mode accepted by nearest")
+	}
+}
+
+func TestAlignCornersPinsEndpoints(t *testing.T) {
+	// Under align-corners, output 0 samples source 0 and output m-1
+	// samples source n-1 with full weight for every interpolating kernel.
+	for _, alg := range []Algorithm{Nearest, Bilinear, Bicubic, Lanczos} {
+		c, err := BuildCoeff(9, 5, Options{Algorithm: alg, Coord: AlignCorners})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		src := make([]float64, 9)
+		for i := range src {
+			src[i] = float64(i * 10)
+		}
+		dst := make([]float64, 5)
+		c.Apply(src, 1, dst, 1)
+		if math.Abs(dst[0]-0) > 1e-9 {
+			t.Errorf("%v: first sample = %v, want 0", alg, dst[0])
+		}
+		if math.Abs(dst[4]-80) > 1e-9 {
+			t.Errorf("%v: last sample = %v, want 80", alg, dst[4])
+		}
+		// 9->5 with align-corners: exact integer positions 0,2,4,6,8.
+		for i, want := range []float64{0, 20, 40, 60, 80} {
+			if math.Abs(dst[i]-want) > 1e-9 {
+				t.Errorf("%v: sample %d = %v, want %v", alg, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestAlignCornersSingleOutput(t *testing.T) {
+	c, err := BuildCoeff(7, 1, Options{Algorithm: Bilinear, Coord: AlignCorners})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []float64{0, 0, 0, 42, 0, 0, 0}
+	dst := make([]float64, 1)
+	c.Apply(src, 1, dst, 1)
+	if dst[0] != 42 {
+		t.Errorf("single output = %v, want center sample 42", dst[0])
+	}
+}
+
+func TestAsymmetricAnchorsAtZero(t *testing.T) {
+	c, err := BuildCoeff(8, 4, Options{Algorithm: Nearest, Coord: Asymmetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src = i*2 exactly: taps 0,2,4,6.
+	want := []int{0, 2, 4, 6}
+	for i, row := range c.Rows {
+		if row.Idx[0] != want[i] {
+			t.Errorf("asymmetric nearest tap %d = %d, want %d", i, row.Idx[0], want[i])
+		}
+	}
+}
+
+// The attack relevance: different coordinate modes sample DIFFERENT source
+// pixels, so an attack crafted for one convention targets the wrong pixels
+// under another.
+func TestCoordModesSampleDifferentPixels(t *testing.T) {
+	half, err := BuildCoeff(16, 4, Options{Algorithm: Nearest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asym, err := BuildCoeff(16, 4, Options{Algorithm: Nearest, Coord: Asymmetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range half.Rows {
+		if half.Rows[i].Idx[0] == asym.Rows[i].Idx[0] {
+			same++
+		}
+	}
+	if same == len(half.Rows) {
+		t.Error("half-pixel and asymmetric sample identical pixels; modes indistinguishable")
+	}
+}
+
+func TestCoordModesPartitionOfUnity(t *testing.T) {
+	for _, mode := range []CoordMode{HalfPixel, AlignCorners, Asymmetric} {
+		for _, alg := range Algorithms() {
+			c, err := BuildCoeff(23, 7, Options{Algorithm: alg, Coord: mode})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", alg, mode, err)
+			}
+			for i, row := range c.Rows {
+				var sum float64
+				for _, w := range row.W {
+					sum += w
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("%v/%v row %d: weight sum %v", alg, mode, i, sum)
+				}
+			}
+		}
+	}
+}

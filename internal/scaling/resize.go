@@ -1,0 +1,145 @@
+package scaling
+
+import (
+	"fmt"
+
+	"decamouflage/internal/imgcore"
+)
+
+// Scaler resizes images to a fixed destination geometry using a fixed
+// algorithm; it caches the coefficient matrices so repeated resizes of
+// same-sized inputs cost only the matrix application. A Scaler also exposes
+// its coefficient matrices for use by the attack and by analysis tooling.
+//
+// Scaler is safe for concurrent use after construction; Resize does not
+// mutate internal state for inputs matching the prepared source geometry
+// and rebuilds (without caching) for other sizes.
+type Scaler struct {
+	opts  Options
+	dstW  int
+	dstH  int
+	srcW  int
+	srcH  int
+	horiz *Coeff // w -> dstW
+	vert  *Coeff // h -> dstH
+}
+
+// NewScaler prepares a scaler from (srcW×srcH) to (dstW×dstH).
+func NewScaler(srcW, srcH, dstW, dstH int, opts Options) (*Scaler, error) {
+	if srcW <= 0 || srcH <= 0 || dstW <= 0 || dstH <= 0 {
+		return nil, fmt.Errorf("%w: src %dx%d dst %dx%d", ErrBadSize, srcW, srcH, dstW, dstH)
+	}
+	h, err := BuildCoeff(srcW, dstW, opts)
+	if err != nil {
+		return nil, err
+	}
+	v, err := BuildCoeff(srcH, dstH, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Scaler{opts: opts, dstW: dstW, dstH: dstH, srcW: srcW, srcH: srcH, horiz: h, vert: v}, nil
+}
+
+// Options returns the options the scaler was built with.
+func (s *Scaler) Options() Options { return s.opts }
+
+// DstSize returns the destination geometry.
+func (s *Scaler) DstSize() (w, h int) { return s.dstW, s.dstH }
+
+// SrcSize returns the prepared source geometry.
+func (s *Scaler) SrcSize() (w, h int) { return s.srcW, s.srcH }
+
+// Horizontal returns the prepared width-direction coefficient matrix
+// (the R in scale(X) = L·X·Rᵀ).
+func (s *Scaler) Horizontal() *Coeff { return s.horiz }
+
+// Vertical returns the prepared height-direction coefficient matrix
+// (the L in scale(X) = L·X·Rᵀ).
+func (s *Scaler) Vertical() *Coeff { return s.vert }
+
+// Resize resamples img to the scaler's destination geometry. Inputs whose
+// size differs from the prepared source geometry are handled by building
+// fresh coefficients for that size.
+func (s *Scaler) Resize(img *imgcore.Image) (*imgcore.Image, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	horiz, vert := s.horiz, s.vert
+	if img.W != s.srcW {
+		var err error
+		horiz, err = BuildCoeff(img.W, s.dstW, s.opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if img.H != s.srcH {
+		var err error
+		vert, err = BuildCoeff(img.H, s.dstH, s.opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resizeWith(img, horiz, vert)
+}
+
+// Resize resamples img to (dstW×dstH) with the given options, building the
+// coefficient matrices on the fly. Use a Scaler for repeated resizes.
+func Resize(img *imgcore.Image, dstW, dstH int, opts Options) (*imgcore.Image, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	horiz, err := BuildCoeff(img.W, dstW, opts)
+	if err != nil {
+		return nil, err
+	}
+	vert, err := BuildCoeff(img.H, dstH, opts)
+	if err != nil {
+		return nil, err
+	}
+	return resizeWith(img, horiz, vert)
+}
+
+// resizeWith applies the separable operator: vertical pass then horizontal.
+func resizeWith(img *imgcore.Image, horiz, vert *Coeff) (*imgcore.Image, error) {
+	dstW, dstH := horiz.M, vert.M
+	// Vertical pass: (img.H × img.W) -> (dstH × img.W).
+	mid, err := imgcore.New(img.W, dstH, img.C)
+	if err != nil {
+		return nil, err
+	}
+	rowStride := img.W * img.C
+	for x := 0; x < img.W; x++ {
+		for c := 0; c < img.C; c++ {
+			off := x*img.C + c
+			vert.Apply(img.Pix[off:], rowStride, mid.Pix[off:], rowStride)
+		}
+	}
+	// Horizontal pass: (dstH × img.W) -> (dstH × dstW).
+	out, err := imgcore.New(dstW, dstH, img.C)
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < dstH; y++ {
+		for c := 0; c < img.C; c++ {
+			srcOff := y*rowStride + c
+			dstOff := y*dstW*img.C + c
+			horiz.Apply(mid.Pix[srcOff:], img.C, out.Pix[dstOff:], img.C)
+		}
+	}
+	return out, nil
+}
+
+// DownUp performs the paper's scaling-detection transform: downscale img to
+// (dstW×dstH) and upscale the result back to img's own size, both with the
+// same options. It returns both the downscaled and the round-tripped image.
+func DownUp(img *imgcore.Image, dstW, dstH int, opts Options) (down, up *imgcore.Image, err error) {
+	down, err = Resize(img, dstW, dstH, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scaling: downscale: %w", err)
+	}
+	up, err = Resize(down, img.W, img.H, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scaling: upscale: %w", err)
+	}
+	return down, up, nil
+}

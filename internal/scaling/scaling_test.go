@@ -1,0 +1,472 @@
+package scaling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"decamouflage/internal/imgcore"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Algorithm
+		wantErr bool
+	}{
+		{"nearest", Nearest, false},
+		{"nn", Nearest, false},
+		{"bilinear", Bilinear, false},
+		{"linear", Bilinear, false},
+		{"bicubic", Bicubic, false},
+		{"cubic", Bicubic, false},
+		{"lanczos", Lanczos, false},
+		{"area", Area, false},
+		{"box", Area, false},
+		{"bogus", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseAlgorithm(tt.in)
+		if (err != nil) != tt.wantErr || got != tt.want {
+			t.Errorf("ParseAlgorithm(%q) = %v,%v want %v,err=%v", tt.in, got, err, tt.want, tt.wantErr)
+		}
+	}
+	for _, a := range Algorithms() {
+		if a.String() == "" || a.String()[0] == 'A' {
+			t.Errorf("missing String for %d", int(a))
+		}
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Errorf("round trip %v failed: %v %v", a, back, err)
+		}
+	}
+	if Algorithm(99).String() == "" {
+		t.Error("unknown algorithm String empty")
+	}
+}
+
+func TestBuildCoeffValidation(t *testing.T) {
+	if _, err := BuildCoeff(0, 4, Options{Algorithm: Bilinear}); err == nil {
+		t.Error("BuildCoeff(0,4) = nil error")
+	}
+	if _, err := BuildCoeff(4, 0, Options{Algorithm: Bilinear}); err == nil {
+		t.Error("BuildCoeff(4,0) = nil error")
+	}
+	if _, err := BuildCoeff(4, 4, Options{}); err == nil {
+		t.Error("BuildCoeff with zero Algorithm = nil error")
+	}
+	if _, err := BuildCoeff(4, 4, Options{Algorithm: Algorithm(42)}); err == nil {
+		t.Error("BuildCoeff with bogus Algorithm = nil error")
+	}
+}
+
+// Property: every row's weights sum to 1 (partition of unity) and indices
+// are sorted, unique and in range — for every algorithm and many geometries.
+func TestCoeffRowsPartitionOfUnity(t *testing.T) {
+	geometries := [][2]int{{8, 4}, {9, 3}, {100, 32}, {224, 224}, {7, 13}, {32, 224}, {5, 1}, {1, 5}}
+	for _, alg := range Algorithms() {
+		for _, anti := range []bool{false, true} {
+			for _, g := range geometries {
+				c, err := BuildCoeff(g[0], g[1], Options{Algorithm: alg, Antialias: anti})
+				if err != nil {
+					t.Fatalf("%v anti=%v %v: %v", alg, anti, g, err)
+				}
+				if c.N != g[0] || c.M != g[1] || len(c.Rows) != g[1] {
+					t.Fatalf("%v %v: bad geometry %+v", alg, g, c)
+				}
+				for i, row := range c.Rows {
+					if len(row.Idx) != len(row.W) || len(row.Idx) == 0 {
+						t.Fatalf("%v %v row %d: malformed", alg, g, i)
+					}
+					var sum float64
+					prev := -1
+					for k, j := range row.Idx {
+						if j < 0 || j >= g[0] {
+							t.Fatalf("%v %v row %d: index %d out of range", alg, g, i, j)
+						}
+						if j <= prev {
+							t.Fatalf("%v %v row %d: indices not strictly increasing", alg, g, i)
+						}
+						prev = j
+						sum += row.W[k]
+					}
+					if math.Abs(sum-1) > 1e-9 {
+						t.Fatalf("%v anti=%v %v row %d: weights sum %v", alg, anti, g, i, sum)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNearestCoeffIsPermutationLike(t *testing.T) {
+	c, err := BuildCoeff(8, 4, Options{Algorithm: Nearest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range c.Rows {
+		if len(row.Idx) != 1 || row.W[0] != 1 {
+			t.Fatalf("row %d not a single unit tap: %+v", i, row)
+		}
+	}
+	// Half-pixel-center convention: output i samples source floor((i+0.5)*2) = 1,3,5,7.
+	want := []int{1, 3, 5, 7}
+	for i, row := range c.Rows {
+		if row.Idx[0] != want[i] {
+			t.Errorf("nearest tap %d = %d, want %d", i, row.Idx[0], want[i])
+		}
+	}
+}
+
+func TestBilinearNoAntialiasIsSparse(t *testing.T) {
+	// The attack precondition: with antialiasing off, a 8x downscale still
+	// touches at most 2 source pixels per output (bilinear support).
+	c, err := BuildCoeff(256, 32, Options{Algorithm: Bilinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxTaps(); got > 2 {
+		t.Errorf("bilinear no-antialias taps = %d, want <= 2", got)
+	}
+	// Most source pixels are untouched slack.
+	use := c.SourceUse()
+	unused := 0
+	for _, u := range use {
+		if u == 0 {
+			unused++
+		}
+	}
+	if unused < 256/2 {
+		t.Errorf("only %d unused source pixels; attack surface unexpectedly small", unused)
+	}
+}
+
+func TestBilinearAntialiasIsDense(t *testing.T) {
+	c, err := BuildCoeff(256, 32, Options{Algorithm: Bilinear, Antialias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxTaps(); got < 8 {
+		t.Errorf("antialiased taps = %d, want >= 8 (kernel widened by scale)", got)
+	}
+	use := c.SourceUse()
+	for j, u := range use {
+		if u == 0 {
+			t.Fatalf("antialiased operator leaves source pixel %d unused", j)
+		}
+	}
+}
+
+func TestAreaCoversAllSources(t *testing.T) {
+	c, err := BuildCoeff(64, 16, Options{Algorithm: Area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	use := c.SourceUse()
+	for j, u := range use {
+		if u == 0 {
+			t.Fatalf("area operator leaves source pixel %d unused", j)
+		}
+	}
+}
+
+func TestIdentityResizePreservesSignal(t *testing.T) {
+	for _, alg := range []Algorithm{Nearest, Bilinear, Bicubic, Lanczos, Area} {
+		c, err := BuildCoeff(16, 16, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := make([]float64, 16)
+		for i := range src {
+			src[i] = float64(i * i)
+		}
+		dst := make([]float64, 16)
+		c.Apply(src, 1, dst, 1)
+		for i := range src {
+			if math.Abs(dst[i]-src[i]) > 1e-9 {
+				t.Errorf("%v identity: sample %d = %v, want %v", alg, i, dst[i], src[i])
+			}
+		}
+	}
+}
+
+// Property: constant signals are preserved exactly by every operator.
+func TestConstantPreservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%64+64)%64 + 2
+		m := int(seed%31+31)%31 + 1
+		v := float64(int(seed%256+256) % 256)
+		for _, alg := range Algorithms() {
+			c, err := BuildCoeff(n, m, Options{Algorithm: alg})
+			if err != nil {
+				return false
+			}
+			src := make([]float64, n)
+			for i := range src {
+				src[i] = v
+			}
+			dst := make([]float64, m)
+			c.Apply(src, 1, dst, 1)
+			for _, d := range dst {
+				if math.Abs(d-v) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyWithStride(t *testing.T) {
+	c, err := BuildCoeff(4, 2, Options{Algorithm: Nearest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave a 4-sample signal in a stride-3 buffer.
+	src := make([]float64, 12)
+	for i := 0; i < 4; i++ {
+		src[i*3] = float64(10 * (i + 1))
+	}
+	dst := make([]float64, 6)
+	c.Apply(src, 3, dst, 3)
+	// Nearest taps: floor(0.5*2)=1, floor(1.5*2)=3.
+	if dst[0] != 20 || dst[3] != 40 {
+		t.Errorf("strided apply = %v", dst)
+	}
+}
+
+func newTestImage(w, h, c int, seed int64) *imgcore.Image {
+	img := imgcore.MustNew(w, h, c)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float64() * 255
+	}
+	return img
+}
+
+func TestResizeGeometry(t *testing.T) {
+	img := newTestImage(40, 30, 3, 1)
+	out, err := Resize(img, 10, 8, Options{Algorithm: Bilinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.W != 10 || out.H != 8 || out.C != 3 {
+		t.Fatalf("Resize geometry = %v", out)
+	}
+	if out.HasNaN() {
+		t.Error("Resize produced NaN")
+	}
+}
+
+func TestResizeInvalidInput(t *testing.T) {
+	if _, err := Resize(&imgcore.Image{}, 4, 4, Options{Algorithm: Bilinear}); err == nil {
+		t.Error("Resize(empty) = nil error")
+	}
+	img := newTestImage(8, 8, 1, 1)
+	if _, err := Resize(img, 0, 4, Options{Algorithm: Bilinear}); err == nil {
+		t.Error("Resize to zero width = nil error")
+	}
+	if _, err := Resize(img, 4, 4, Options{}); err == nil {
+		t.Error("Resize with unset algorithm = nil error")
+	}
+}
+
+func TestResizeConstantImageExact(t *testing.T) {
+	img := imgcore.MustNew(50, 40, 3)
+	img.Fill(123)
+	for _, alg := range Algorithms() {
+		out, err := Resize(img, 13, 11, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		for i, v := range out.Pix {
+			if math.Abs(v-123) > 1e-9 {
+				t.Fatalf("%v: sample %d = %v, want 123", alg, i, v)
+			}
+		}
+	}
+}
+
+func TestResizeLinearRampBilinearExact(t *testing.T) {
+	// Bilinear downscale of a linear ramp should stay linear (away from
+	// borders) because the triangle kernel reproduces degree-1 polynomials.
+	img := imgcore.MustNew(64, 4, 1)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 64; x++ {
+			img.Set(x, y, 0, float64(x))
+		}
+	}
+	out, err := Resize(img, 32, 4, Options{Algorithm: Bilinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: src coord of dst x is (x+0.5)*2-0.5 = 2x+0.5.
+	for x := 1; x < 31; x++ {
+		want := 2*float64(x) + 0.5
+		if got := out.At(x, 0, 0); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("ramp at %d = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestScalerCachingAndFallback(t *testing.T) {
+	s, err := NewScaler(40, 30, 10, 8, Options{Algorithm: Bicubic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, h := s.DstSize(); w != 10 || h != 8 {
+		t.Errorf("DstSize = %d,%d", w, h)
+	}
+	if w, h := s.SrcSize(); w != 40 || h != 30 {
+		t.Errorf("SrcSize = %d,%d", w, h)
+	}
+	if s.Options().Algorithm != Bicubic {
+		t.Error("Options not preserved")
+	}
+	img := newTestImage(40, 30, 3, 2)
+	out1, err := s.Resize(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Resize(img, 10, 8, Options{Algorithm: Bicubic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out1.Pix {
+		if out1.Pix[i] != want.Pix[i] {
+			t.Fatal("Scaler.Resize differs from Resize")
+		}
+	}
+	// Fallback path for differently sized input.
+	other := newTestImage(20, 22, 3, 3)
+	out2, err := s.Resize(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.W != 10 || out2.H != 8 {
+		t.Errorf("fallback geometry = %v", out2)
+	}
+	if _, err := s.Resize(&imgcore.Image{}); err == nil {
+		t.Error("Scaler.Resize(empty) = nil error")
+	}
+}
+
+func TestNewScalerValidation(t *testing.T) {
+	if _, err := NewScaler(0, 4, 2, 2, Options{Algorithm: Bilinear}); err == nil {
+		t.Error("NewScaler bad src = nil error")
+	}
+	if _, err := NewScaler(4, 4, 2, 0, Options{Algorithm: Bilinear}); err == nil {
+		t.Error("NewScaler bad dst = nil error")
+	}
+	if _, err := NewScaler(4, 4, 2, 2, Options{}); err == nil {
+		t.Error("NewScaler unset algorithm = nil error")
+	}
+}
+
+func TestDownUp(t *testing.T) {
+	img := newTestImage(32, 32, 3, 4)
+	down, up, err := DownUp(img, 8, 8, Options{Algorithm: Bilinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.W != 8 || down.H != 8 {
+		t.Errorf("down geometry = %v", down)
+	}
+	if up.W != 32 || up.H != 32 {
+		t.Errorf("up geometry = %v", up)
+	}
+	if _, _, err := DownUp(&imgcore.Image{}, 8, 8, Options{Algorithm: Bilinear}); err == nil {
+		t.Error("DownUp(empty) = nil error")
+	}
+}
+
+// Property: downscaled output of a smooth image stays within the source
+// value range (convexity: all weights are non-negative for bilinear/area,
+// so outputs are convex combinations).
+func TestConvexityPropertyBilinearArea(t *testing.T) {
+	f := func(seed int64) bool {
+		img := newTestImage(24, 24, 1, seed)
+		lo, hi := img.MinMax()
+		for _, alg := range []Algorithm{Nearest, Bilinear, Area} {
+			out, err := Resize(img, 6, 6, Options{Algorithm: alg})
+			if err != nil {
+				return false
+			}
+			olo, ohi := out.MinMax()
+			if olo < lo-1e-9 || ohi > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Resize agrees with explicit two-pass coefficient application.
+func TestResizeMatchesCoeffComposition(t *testing.T) {
+	img := newTestImage(17, 11, 1, 9)
+	opts := Options{Algorithm: Bicubic}
+	out, err := Resize(img, 5, 7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vert, err := BuildCoeff(11, 7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horiz, err := BuildCoeff(17, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual composition: out[i][j] = sum_k sum_l L[i,k] X[k,l] R[j,l].
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			var s float64
+			for a, k := range vert.Rows[i].Idx {
+				for b, l := range horiz.Rows[j].Idx {
+					s += vert.Rows[i].W[a] * horiz.Rows[j].W[b] * img.At(l, k, 0)
+				}
+			}
+			if math.Abs(s-out.At(j, i, 0)) > 1e-9 {
+				t.Fatalf("composition mismatch at (%d,%d): %v vs %v", j, i, s, out.At(j, i, 0))
+			}
+		}
+	}
+}
+
+func BenchmarkResizeBilinear256to64(b *testing.B) {
+	img := newTestImage(256, 256, 3, 1)
+	s, err := NewScaler(256, 256, 64, 64, Options{Algorithm: Bilinear})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Resize(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResizeBicubic256to64(b *testing.B) {
+	img := newTestImage(256, 256, 3, 1)
+	s, err := NewScaler(256, 256, 64, 64, Options{Algorithm: Bicubic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Resize(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package steg
+
+import (
+	"testing"
+
+	"decamouflage/internal/attack"
+	"decamouflage/internal/dataset"
+	"decamouflage/internal/scaling"
+)
+
+// The forensic claim: replica spacing reveals the attacker's target size.
+func TestEstimateTargetSizeOnRealAttacks(t *testing.T) {
+	tests := []struct {
+		srcW, srcH, dstW, dstH int
+	}{
+		{128, 128, 32, 32},
+		{128, 128, 16, 16},
+	}
+	for _, tt := range tests {
+		g, err := dataset.NewGenerator(dataset.Config{Corpus: dataset.CaltechLike, W: tt.srcW, H: tt.srcH, C: 3, Seed: 71})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg, err := dataset.NewGenerator(dataset.Config{Corpus: dataset.CaltechLike, W: tt.dstW, H: tt.dstH, C: 3, Seed: 72})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaler, err := scaling.NewScaler(tt.srcW, tt.srcH, tt.dstW, tt.dstH, scaling.Options{Algorithm: scaling.Bilinear})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		const n = 5
+		for i := 0; i < n; i++ {
+			res, err := attack.Craft(g.Image(i), tg.Image(i), attack.Config{Scaler: scaler, Eps: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sensitive gate: the 8x ratio's replicas sit below the
+			// default detection threshold (see X9).
+			w, h, ok := EstimateTargetSize(res.Attack, Options{BinarizeThreshold: 0.70})
+			if !ok {
+				continue
+			}
+			// Allow a couple of pixels of centroid jitter.
+			if absInt(w-tt.dstW) <= 3 && absInt(h-tt.dstH) <= 3 {
+				hits++
+			} else {
+				t.Logf("%dx%d->%dx%d attack %d: estimated %dx%d", tt.srcW, tt.srcH, tt.dstW, tt.dstH, i, w, h)
+			}
+		}
+		if hits < n-1 {
+			t.Errorf("%dx%d: target size recovered for only %d/%d attacks", tt.dstW, tt.dstH, hits, n)
+		}
+	}
+}
+
+func TestEstimateTargetSizeBenignReturnsFalse(t *testing.T) {
+	g, err := dataset.NewGenerator(dataset.Config{Corpus: dataset.NeurIPSLike, W: 128, H: 128, C: 3, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		a, err := Analyze(g.Image(i), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := a.EstimateTargetSize(); ok && a.Count == 1 {
+			t.Errorf("benign image %d with single CSP yielded a target-size estimate", i)
+		}
+	}
+}
+
+func TestEstimateTargetSizeDegenerate(t *testing.T) {
+	a := &Analysis{W: 64, H: 64, Count: 1, Centroids: [][2]float64{{32, 32}}}
+	if _, _, ok := a.EstimateTargetSize(); ok {
+		t.Error("single-component analysis yielded estimate")
+	}
+	// Components off both axes: nothing to measure.
+	a = &Analysis{W: 64, H: 64, Count: 3, Centroids: [][2]float64{{32, 32}, {10, 10}, {50, 50}}}
+	if _, _, ok := a.EstimateTargetSize(); ok {
+		t.Error("diagonal-only replicas yielded estimate")
+	}
+	// Horizontal replica only: vertical falls back to horizontal.
+	a = &Analysis{W: 64, H: 64, Count: 2, Centroids: [][2]float64{{32, 32}, {48, 32}}}
+	w, h, ok := a.EstimateTargetSize()
+	if !ok || w != 16 || h != 16 {
+		t.Errorf("horizontal-only = %d,%d,%v, want 16,16,true", w, h, ok)
+	}
+}
+
+func TestAnalysisCentroidsPairedWithAreas(t *testing.T) {
+	g, err := dataset.NewGenerator(dataset.Config{Corpus: dataset.CaltechLike, W: 64, H: 64, C: 1, Seed: 74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(g.Image(0), Options{BinarizeThreshold: 0.5, MinArea: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Centroids) != len(a.Areas) || len(a.Areas) != a.Count {
+		t.Fatalf("lengths: centroids %d areas %d count %d", len(a.Centroids), len(a.Areas), a.Count)
+	}
+	for i, c := range a.Centroids {
+		if c[0] < 0 || c[0] >= 64 || c[1] < 0 || c[1] >= 64 {
+			t.Errorf("centroid %d out of bounds: %v", i, c)
+		}
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
