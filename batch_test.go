@@ -1,0 +1,129 @@
+package decamouflage
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"decamouflage/internal/detect"
+	"decamouflage/internal/imgcore"
+)
+
+// hookScorer scores a constant and invokes an optional per-call hook, for
+// driving DetectBatch through its error and cancellation paths.
+type hookScorer struct {
+	hook func() error
+}
+
+func (s *hookScorer) Name() string { return "hook" }
+
+func (s *hookScorer) Score(*imgcore.Image) (float64, error) {
+	if s.hook != nil {
+		if err := s.hook(); err != nil {
+			return 0, err
+		}
+	}
+	return 0, nil
+}
+
+func hookEnsemble(t *testing.T, hook func() error) *Ensemble {
+	t.Helper()
+	d, err := detect.NewDetector(&hookScorer{hook: hook}, detect.Threshold{Value: 1, Direction: detect.Above})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := detect.NewEnsemble(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func batchImages(n int) []*Image {
+	imgs := make([]*Image, n)
+	for i := range imgs {
+		imgs[i] = imgcore.MustNew(4, 4, 1)
+		imgs[i].Fill(float64(i))
+	}
+	return imgs
+}
+
+func TestDetectBatchEmptySlice(t *testing.T) {
+	e := hookEnsemble(t, nil)
+	out, err := DetectBatch(context.Background(), e, nil)
+	if err != nil {
+		t.Fatalf("nil batch: %v", err)
+	}
+	if out == nil || len(out) != 0 {
+		t.Fatalf("nil batch: got %v, want empty non-nil slice", out)
+	}
+	out, err = DetectBatch(context.Background(), e, []*Image{})
+	if err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if out == nil || len(out) != 0 {
+		t.Fatalf("empty batch: got %v, want empty non-nil slice", out)
+	}
+}
+
+func TestDetectBatchCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var scored atomic.Int64
+	e := hookEnsemble(t, func() error {
+		// Cancel while the batch is in flight, after the third image.
+		if scored.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	out, err := DetectBatch(ctx, e, batchImages(64))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled batch returned verdicts")
+	}
+	if n := scored.Load(); n >= 64 {
+		t.Fatalf("all %d images scored despite mid-batch cancellation", n)
+	}
+}
+
+func TestDetectBatchFirstErrorWinsAndIsIndexed(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	e := hookEnsemble(t, func() error {
+		if calls.Add(1) == 4 {
+			return boom
+		}
+		return nil
+	})
+	_, err := DetectBatch(context.Background(), e, batchImages(16))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), "image ") {
+		t.Fatalf("error %q does not identify the failing image", err)
+	}
+}
+
+func TestDetectBatchPreservesOrder(t *testing.T) {
+	e := hookEnsemble(t, nil)
+	imgs := batchImages(32)
+	out, err := DetectBatch(context.Background(), e, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(imgs) {
+		t.Fatalf("got %d verdicts, want %d", len(out), len(imgs))
+	}
+	for i, v := range out {
+		if v == nil {
+			t.Fatalf("verdict %d is nil", i)
+		}
+		if len(v.Verdicts) != 1 {
+			t.Fatalf("verdict %d has %d method verdicts", i, len(v.Verdicts))
+		}
+	}
+}

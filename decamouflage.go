@@ -35,12 +35,11 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"decamouflage/internal/attack"
 	"decamouflage/internal/detect"
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/parallel"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
 )
@@ -214,68 +213,28 @@ func Detect(ctx context.Context, e *Ensemble, img *Image) (*EnsembleVerdict, err
 	return e.Detect(ctx, img)
 }
 
-// DetectBatch runs the ensemble over many images concurrently (one worker
-// per CPU) and returns one verdict per image, in order. It stops at the
-// first error or context cancellation — the offline audit mode of the
-// paper's threat model.
+// DetectBatch runs the ensemble over many images concurrently (bounded by
+// GOMAXPROCS, via the shared internal/parallel substrate) and returns one
+// verdict per image, in order. It stops at the first error or context
+// cancellation — the offline audit mode of the paper's threat model. An
+// empty batch returns an empty, non-nil verdict slice.
 func DetectBatch(ctx context.Context, e *Ensemble, imgs []*Image) ([]*EnsembleVerdict, error) {
 	if e == nil {
 		return nil, fmt.Errorf("decamouflage: nil ensemble")
 	}
 	out := make([]*EnsembleVerdict, len(imgs))
-	workers := runtime.NumCPU()
-	if workers > len(imgs) {
-		workers = len(imgs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	failed := make(chan struct{})
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				v, err := e.Detect(ctx, imgs[i])
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("decamouflage: image %d: %w", i, err)
-						close(failed)
-					}
-					mu.Unlock()
-					return
-				}
-				out[i] = v
+	err := parallel.For(ctx, len(imgs), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			v, err := e.Detect(ctx, imgs[i])
+			if err != nil {
+				return fmt.Errorf("decamouflage: image %d: %w", i, err)
 			}
-		}()
-	}
-	send := func() error {
-		defer close(idx)
-		for i := range imgs {
-			select {
-			case idx <- i:
-			case <-failed:
-				return nil
-			case <-ctx.Done():
-				return ctx.Err()
-			}
+			out[i] = v
 		}
 		return nil
-	}
-	ctxErr := send()
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if ctxErr != nil {
-		return nil, ctxErr
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

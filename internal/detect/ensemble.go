@@ -4,9 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/parallel"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
 )
@@ -48,9 +48,10 @@ func (e *Ensemble) Detectors() []*Detector {
 	return append([]*Detector(nil), e.detectors...)
 }
 
-// Detect runs every member concurrently and majority-votes. It honours ctx
+// Detect runs every member concurrently (via parallel.Do, one task per
+// method, bounded by GOMAXPROCS) and majority-votes. It honours ctx
 // cancellation between and during method launches; the first scoring error
-// aborts the ensemble.
+// — by detector order — aborts the ensemble.
 func (e *Ensemble) Detect(ctx context.Context, img *imgcore.Image) (*EnsembleVerdict, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -59,29 +60,19 @@ func (e *Ensemble) Detect(ctx context.Context, img *imgcore.Image) (*EnsembleVer
 		return nil, err
 	}
 	verdicts := make([]Verdict, len(e.detectors))
-	errs := make([]error, len(e.detectors))
-	var wg sync.WaitGroup
+	tasks := make([]func() error, len(e.detectors))
 	for i, d := range e.detectors {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
-			}
+		tasks[i] = func() error {
 			v, err := d.Detect(img)
 			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", d.Name(), err)
-				return
+				return fmt.Errorf("%s: %w", d.Name(), err)
 			}
 			verdicts[i] = v
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			return nil
 		}
+	}
+	if err := parallel.Do(ctx, tasks); err != nil {
+		return nil, err
 	}
 	votes := 0
 	for _, v := range verdicts {

@@ -6,12 +6,14 @@
 package filtering
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/parallel"
 )
 
 // ErrBadWindow indicates an invalid filter window size.
@@ -76,11 +78,16 @@ func pickMedian(buf []float64) float64 {
 	return (buf[n/2-1] + buf[n/2]) / 2
 }
 
+// minFilterWork is the per-chunk grain (in window-weighted samples) below
+// which a filter sweep stays on the calling goroutine.
+const minFilterWork = 1 << 14
+
 // rankFilter runs a generic sliding-window reduction. Window anchoring
 // follows the OpenCV convention: for even sizes the anchor is the top-left
 // sample of the window (offsets [0, size)), for odd sizes the window is
-// centered (offsets [-size/2, size/2]).
-func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64) (*imgcore.Image, error) {
+// centered (offsets [-size/2, size/2]). Rows are processed in parallel
+// bands; pick must therefore be a pure function of its buffer.
+func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64, popts ...parallel.Option) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
@@ -94,25 +101,39 @@ func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64) (*im
 	hi := lo + size - 1
 
 	out := img.Clone()
-	buf := make([]float64, 0, size*size)
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
-			for c := 0; c < img.C; c++ {
-				buf = buf[:0]
-				for dy := lo; dy <= hi; dy++ {
-					for dx := lo; dx <= hi; dx++ {
-						buf = append(buf, img.AtClamped(x+dx, y+dy, c))
+	rowCost := img.W * img.C * size * size
+	opts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(rowCost, minFilterWork)),
+	}, popts...)
+	err := parallel.For(context.Background(), img.H, func(yLo, yHi int) error {
+		buf := make([]float64, 0, size*size)
+		for y := yLo; y < yHi; y++ {
+			for x := 0; x < img.W; x++ {
+				for c := 0; c < img.C; c++ {
+					buf = buf[:0]
+					for dy := lo; dy <= hi; dy++ {
+						for dx := lo; dx <= hi; dx++ {
+							buf = append(buf, img.AtClamped(x+dx, y+dy, c))
+						}
 					}
+					out.Set(x, y, c, pick(buf))
 				}
-				out.Set(x, y, c, pick(buf))
 			}
 		}
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Box applies a size×size mean filter.
 func Box(img *imgcore.Image, size int) (*imgcore.Image, error) {
+	return box(img, size)
+}
+
+func box(img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadWindow, size)
 	}
@@ -122,12 +143,18 @@ func Box(img *imgcore.Image, size int) (*imgcore.Image, error) {
 			s += v
 		}
 		return s / float64(len(buf))
-	})
+	}, popts...)
 }
 
 // Gaussian applies Gaussian smoothing with the given radius and sigma to
 // each channel independently (separable implementation).
 func Gaussian(img *imgcore.Image, radius int, sigma float64) (*imgcore.Image, error) {
+	return gaussian(img, radius, sigma)
+}
+
+// gaussian is Gaussian with parallel options threaded through for the
+// serial-vs-parallel equivalence tests.
+func gaussian(img *imgcore.Image, radius int, sigma float64, popts ...parallel.Option) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,29 +173,46 @@ func Gaussian(img *imgcore.Image, radius int, sigma float64) (*imgcore.Image, er
 	}
 	out := img.Clone()
 	tmp := img.Clone()
-	// Horizontal.
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
-			for c := 0; c < img.C; c++ {
-				var s float64
-				for k := -radius; k <= radius; k++ {
-					s += kern[k+radius] * img.AtClamped(x+k, y, c)
+	ctx := context.Background()
+	rowCost := img.W * img.C * (2*radius + 1)
+	opts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(rowCost, minFilterWork)),
+	}, popts...)
+	// Horizontal: chunks own disjoint row bands of tmp.
+	err := parallel.For(ctx, img.H, func(yLo, yHi int) error {
+		for y := yLo; y < yHi; y++ {
+			for x := 0; x < img.W; x++ {
+				for c := 0; c < img.C; c++ {
+					var s float64
+					for k := -radius; k <= radius; k++ {
+						s += kern[k+radius] * img.AtClamped(x+k, y, c)
+					}
+					tmp.Set(x, y, c, s)
 				}
-				tmp.Set(x, y, c, s)
 			}
 		}
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
 	}
-	// Vertical.
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
-			for c := 0; c < img.C; c++ {
-				var s float64
-				for k := -radius; k <= radius; k++ {
-					s += kern[k+radius] * tmp.AtClamped(x, y+k, c)
+	// Vertical: chunks own disjoint row bands of out, reading all of tmp.
+	err = parallel.For(ctx, img.H, func(yLo, yHi int) error {
+		for y := yLo; y < yHi; y++ {
+			for x := 0; x < img.W; x++ {
+				for c := 0; c < img.C; c++ {
+					var s float64
+					for k := -radius; k <= radius; k++ {
+						s += kern[k+radius] * tmp.AtClamped(x, y+k, c)
+					}
+					out.Set(x, y, c, s)
 				}
-				out.Set(x, y, c, s)
 			}
 		}
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -8,11 +8,14 @@
 package fourier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/bits"
 	"math/cmplx"
+
+	"decamouflage/internal/parallel"
 )
 
 // ErrEmpty indicates a zero-length transform request.
@@ -194,30 +197,53 @@ func IFFT2D(m *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
-func transform2D(m *Matrix, inverse bool) (*Matrix, error) {
+// minTransformWork is the per-chunk grain (in matrix elements) below which
+// the 1-D passes of transform2D stay on the calling goroutine.
+const minTransformWork = 1 << 13
+
+func transform2D(m *Matrix, inverse bool, opts ...parallel.Option) (*Matrix, error) {
 	if m == nil || m.W == 0 || m.H == 0 {
 		return nil, ErrEmpty
 	}
 	out := &Matrix{W: m.W, H: m.H, Data: append([]complex128(nil), m.Data...)}
-	// Rows.
-	for y := 0; y < m.H; y++ {
-		row := out.Data[y*m.W : (y+1)*m.W]
-		if err := transform(row, inverse); err != nil {
-			return nil, err
+	ctx := context.Background()
+	// Rows: each chunk transforms a disjoint band of rows in place.
+	rowOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(m.W, minTransformWork)),
+	}, opts...)
+	err := parallel.For(ctx, m.H, func(lo, hi int) error {
+		for y := lo; y < hi; y++ {
+			if err := transform(out.Data[y*m.W:(y+1)*m.W], inverse); err != nil {
+				return err
+			}
 		}
+		return nil
+	}, rowOpts...)
+	if err != nil {
+		return nil, err
 	}
-	// Columns.
-	col := make([]complex128, m.H)
-	for x := 0; x < m.W; x++ {
-		for y := 0; y < m.H; y++ {
-			col[y] = out.Data[y*m.W+x]
+	// Columns: each chunk gathers, transforms and scatters a disjoint band
+	// of columns through its own scratch buffer.
+	colOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(m.H, minTransformWork)),
+	}, opts...)
+	err = parallel.For(ctx, m.W, func(lo, hi int) error {
+		col := make([]complex128, m.H)
+		for x := lo; x < hi; x++ {
+			for y := 0; y < m.H; y++ {
+				col[y] = out.Data[y*m.W+x]
+			}
+			if err := transform(col, inverse); err != nil {
+				return err
+			}
+			for y := 0; y < m.H; y++ {
+				out.Data[y*m.W+x] = col[y]
+			}
 		}
-		if err := transform(col, inverse); err != nil {
-			return nil, err
-		}
-		for y := 0; y < m.H; y++ {
-			out.Data[y*m.W+x] = col[y]
-		}
+		return nil
+	}, colOpts...)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -6,11 +6,13 @@
 package metrics
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/parallel"
 )
 
 // ErrShapeMismatch indicates two images of different geometry.
@@ -105,6 +107,15 @@ func SSIM(a, b *imgcore.Image) (float64, error) {
 //
 // and averaged over all pixel positions.
 func SSIMWith(a, b *imgcore.Image, opts SSIMOptions) (float64, error) {
+	return ssimWith(a, b, opts)
+}
+
+// ssimWith is SSIMWith with parallel options threaded through for the
+// serial-vs-parallel equivalence tests. The Gaussian sweeps and the
+// per-pixel product maps run in parallel bands; the final mean stays a
+// serial reduction so the summation order — and therefore the result — is
+// identical for every worker count.
+func ssimWith(a, b *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (float64, error) {
 	if err := checkPair(a, b); err != nil {
 		return 0, err
 	}
@@ -116,21 +127,27 @@ func SSIMWith(a, b *imgcore.Image, opts SSIMOptions) (float64, error) {
 
 	kern := gaussianKernel(opts.WindowRadius, opts.Sigma)
 
-	muA := blurSeparable(ga.Pix, w, h, kern)
-	muB := blurSeparable(gb.Pix, w, h, kern)
+	muA := blurSeparable(ga.Pix, w, h, kern, popts...)
+	muB := blurSeparable(gb.Pix, w, h, kern, popts...)
 
 	n := w * h
 	aa := make([]float64, n)
 	bb := make([]float64, n)
 	ab := make([]float64, n)
-	for i := 0; i < n; i++ {
-		aa[i] = ga.Pix[i] * ga.Pix[i]
-		bb[i] = gb.Pix[i] * gb.Pix[i]
-		ab[i] = ga.Pix[i] * gb.Pix[i]
+	prodOpts := append([]parallel.Option{parallel.Grain(minBlurWork)}, popts...)
+	if err := parallel.For(context.Background(), n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			aa[i] = ga.Pix[i] * ga.Pix[i]
+			bb[i] = gb.Pix[i] * gb.Pix[i]
+			ab[i] = ga.Pix[i] * gb.Pix[i]
+		}
+		return nil
+	}, prodOpts...); err != nil {
+		return 0, err
 	}
-	sAA := blurSeparable(aa, w, h, kern)
-	sBB := blurSeparable(bb, w, h, kern)
-	sAB := blurSeparable(ab, w, h, kern)
+	sAA := blurSeparable(aa, w, h, kern, popts...)
+	sBB := blurSeparable(bb, w, h, kern, popts...)
+	sAB := blurSeparable(ab, w, h, kern, popts...)
 
 	c1 := (opts.K1 * opts.L) * (opts.K1 * opts.L)
 	c2 := (opts.K2 * opts.L) * (opts.K2 * opts.L)
@@ -163,45 +180,62 @@ func gaussianKernel(r int, sigma float64) []float64 {
 	return k
 }
 
+// minBlurWork is the per-chunk grain (in kernel-weighted samples) below
+// which a blur pass stays on the calling goroutine.
+const minBlurWork = 1 << 14
+
 // blurSeparable convolves a single-channel image with a separable kernel
-// using replicate border handling.
-func blurSeparable(src []float64, w, h int, kern []float64) []float64 {
+// using replicate border handling. Each pass runs in parallel bands over
+// disjoint output rows/columns.
+func blurSeparable(src []float64, w, h int, kern []float64, popts ...parallel.Option) []float64 {
 	r := (len(kern) - 1) / 2
+	ctx := context.Background()
+	grain := parallel.GrainForWidth(w*len(kern), minBlurWork)
 	tmp := make([]float64, len(src))
-	// Horizontal.
-	for y := 0; y < h; y++ {
-		row := src[y*w : (y+1)*w]
-		out := tmp[y*w : (y+1)*w]
-		for x := 0; x < w; x++ {
-			var s float64
-			for k := -r; k <= r; k++ {
-				xx := x + k
-				if xx < 0 {
-					xx = 0
-				} else if xx >= w {
-					xx = w - 1
+	// Horizontal: chunks own disjoint row bands of tmp.
+	rowOpts := append([]parallel.Option{parallel.Grain(grain)}, popts...)
+	_ = parallel.For(ctx, h, func(yLo, yHi int) error {
+		for y := yLo; y < yHi; y++ {
+			row := src[y*w : (y+1)*w]
+			out := tmp[y*w : (y+1)*w]
+			for x := 0; x < w; x++ {
+				var s float64
+				for k := -r; k <= r; k++ {
+					xx := x + k
+					if xx < 0 {
+						xx = 0
+					} else if xx >= w {
+						xx = w - 1
+					}
+					s += kern[k+r] * row[xx]
 				}
-				s += kern[k+r] * row[xx]
+				out[x] = s
 			}
-			out[x] = s
 		}
-	}
-	// Vertical.
+		return nil
+	}, rowOpts...)
+	// Vertical: chunks own disjoint column bands of dst, reading all of tmp.
 	dst := make([]float64, len(src))
-	for x := 0; x < w; x++ {
-		for y := 0; y < h; y++ {
-			var s float64
-			for k := -r; k <= r; k++ {
-				yy := y + k
-				if yy < 0 {
-					yy = 0
-				} else if yy >= h {
-					yy = h - 1
+	colOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(h*len(kern), minBlurWork)),
+	}, popts...)
+	_ = parallel.For(ctx, w, func(xLo, xHi int) error {
+		for x := xLo; x < xHi; x++ {
+			for y := 0; y < h; y++ {
+				var s float64
+				for k := -r; k <= r; k++ {
+					yy := y + k
+					if yy < 0 {
+						yy = 0
+					} else if yy >= h {
+						yy = h - 1
+					}
+					s += kern[k+r] * tmp[yy*w+x]
 				}
-				s += kern[k+r] * tmp[yy*w+x]
+				dst[y*w+x] = s
 			}
-			dst[y*w+x] = s
 		}
-	}
+		return nil
+	}, colOpts...)
 	return dst
 }

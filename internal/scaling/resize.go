@@ -1,9 +1,11 @@
 package scaling
 
 import (
+	"context"
 	"fmt"
 
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/parallel"
 )
 
 // Scaler resizes images to a fixed destination geometry using a fixed
@@ -99,32 +101,59 @@ func Resize(img *imgcore.Image, dstW, dstH int, opts Options) (*imgcore.Image, e
 	return resizeWith(img, horiz, vert)
 }
 
+// minResizeWork is the per-chunk grain (in output taps) below which a
+// resize pass stays on the calling goroutine.
+const minResizeWork = 1 << 14
+
 // resizeWith applies the separable operator: vertical pass then horizontal.
-func resizeWith(img *imgcore.Image, horiz, vert *Coeff) (*imgcore.Image, error) {
+// Both passes run in parallel bands over disjoint output columns/rows, so
+// the result is bit-identical to the serial order for any worker count.
+func resizeWith(img *imgcore.Image, horiz, vert *Coeff, popts ...parallel.Option) (*imgcore.Image, error) {
 	dstW, dstH := horiz.M, vert.M
-	// Vertical pass: (img.H × img.W) -> (dstH × img.W).
+	ctx := context.Background()
+	// Vertical pass: (img.H × img.W) -> (dstH × img.W), chunked over x.
 	mid, err := imgcore.New(img.W, dstH, img.C)
 	if err != nil {
 		return nil, err
 	}
 	rowStride := img.W * img.C
-	for x := 0; x < img.W; x++ {
-		for c := 0; c < img.C; c++ {
-			off := x*img.C + c
-			vert.Apply(img.Pix[off:], rowStride, mid.Pix[off:], rowStride)
+	vertCost := dstH * img.C * vert.MaxTaps()
+	vertOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(vertCost, minResizeWork)),
+	}, popts...)
+	err = parallel.For(ctx, img.W, func(xLo, xHi int) error {
+		for x := xLo; x < xHi; x++ {
+			for c := 0; c < img.C; c++ {
+				off := x*img.C + c
+				vert.Apply(img.Pix[off:], rowStride, mid.Pix[off:], rowStride)
+			}
 		}
+		return nil
+	}, vertOpts...)
+	if err != nil {
+		return nil, err
 	}
-	// Horizontal pass: (dstH × img.W) -> (dstH × dstW).
+	// Horizontal pass: (dstH × img.W) -> (dstH × dstW), chunked over y.
 	out, err := imgcore.New(dstW, dstH, img.C)
 	if err != nil {
 		return nil, err
 	}
-	for y := 0; y < dstH; y++ {
-		for c := 0; c < img.C; c++ {
-			srcOff := y*rowStride + c
-			dstOff := y*dstW*img.C + c
-			horiz.Apply(mid.Pix[srcOff:], img.C, out.Pix[dstOff:], img.C)
+	horizCost := dstW * img.C * horiz.MaxTaps()
+	horizOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(horizCost, minResizeWork)),
+	}, popts...)
+	err = parallel.For(ctx, dstH, func(yLo, yHi int) error {
+		for y := yLo; y < yHi; y++ {
+			for c := 0; c < img.C; c++ {
+				srcOff := y*rowStride + c
+				dstOff := y*dstW*img.C + c
+				horiz.Apply(mid.Pix[srcOff:], img.C, out.Pix[dstOff:], img.C)
+			}
 		}
+		return nil
+	}, horizOpts...)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
