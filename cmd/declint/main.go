@@ -1,0 +1,110 @@
+// Command declint enforces this repository's determinism, concurrency, and
+// float-safety invariants with the pure-stdlib analyzers in
+// internal/analysis. It exits 0 when the tree is clean, 1 when any finding
+// survives suppression, and 2 on usage or load errors.
+//
+// Usage:
+//
+//	go run ./cmd/declint ./...            # analyze the whole module
+//	go run ./cmd/declint -checks floateq ./...
+//	go run ./cmd/declint -list            # list registered checks
+//	go run ./cmd/declint path/to/dir      # analyze a directory as its own
+//	                                      # module root (testdata fixtures)
+//
+// Findings are reported as file:line:col: check: message. Intentional
+// violations are annotated in place with //declint:ignore <check> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"decamouflage/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("declint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	listFlag := fs.Bool("list", false, "list registered checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: declint [-checks c1,c2] [-list] [./... | dir ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listFlag {
+		for _, c := range analysis.Checks() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	cfg := analysis.DefaultConfig()
+	if *checksFlag != "" {
+		cfg.Checks = strings.Split(*checksFlag, ",")
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+	total := 0
+	for _, target := range targets {
+		root := target
+		if target == "./..." || target == "..." {
+			var err error
+			root, err = moduleRoot(".")
+			if err != nil {
+				fmt.Fprintln(stderr, "declint:", err)
+				return 2
+			}
+		}
+		pkgs, err := analysis.LoadModule(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "declint:", err)
+			return 2
+		}
+		findings, err := analysis.Run(pkgs, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "declint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "declint: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from dir to the nearest directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

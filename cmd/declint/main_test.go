@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/analysis/testdata"
+
+func runDeclint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestViolatingFixturesExitNonzero: every violating fixture module fails
+// with exit 1 and reports the expected check at a file:line position.
+func TestViolatingFixturesExitNonzero(t *testing.T) {
+	cases := []struct {
+		fixture string
+		check   string
+		file    string
+	}{
+		{"norawgo", "noraw-go", "pool.go"},
+		{"determinism", "determinism", "bad.go"},
+		{"floateq", "floateq", "cmp.go"},
+		{"naninput", "naninput", "api.go"},
+		{"errdrop", "errdrop", "drop.go"},
+		{"suppress", "declint", "bad.go"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			code, stdout, stderr := runDeclint(t, filepath.Join(fixtures, tc.fixture))
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+			}
+			if !strings.Contains(stdout, ": "+tc.check+": ") {
+				t.Errorf("stdout lacks check %q:\n%s", tc.check, stdout)
+			}
+			if !strings.Contains(stdout, tc.file+":") {
+				t.Errorf("stdout lacks file:line for %s:\n%s", tc.file, stdout)
+			}
+			if !strings.Contains(stderr, "finding(s)") {
+				t.Errorf("stderr lacks the findings summary:\n%s", stderr)
+			}
+		})
+	}
+}
+
+// TestChecksFlagScopesRun: -checks with an unrelated check exits clean on a
+// fixture that only violates another one.
+func TestChecksFlagScopesRun(t *testing.T) {
+	code, stdout, _ := runDeclint(t, "-checks", "errdrop", filepath.Join(fixtures, "floateq"))
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s", code, stdout)
+	}
+	code, stdout, _ = runDeclint(t, "-checks", "floateq", filepath.Join(fixtures, "floateq"))
+	if code != 1 || !strings.Contains(stdout, "floateq") {
+		t.Fatalf("exit code = %d, want 1 with floateq findings:\n%s", code, stdout)
+	}
+}
+
+func TestUnknownCheckFlag(t *testing.T) {
+	code, _, stderr := runDeclint(t, "-checks", "bogus", filepath.Join(fixtures, "errdrop"))
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown check") {
+		t.Errorf("stderr lacks unknown-check error:\n%s", stderr)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	code, stdout, _ := runDeclint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"noraw-go", "determinism", "floateq", "naninput", "errdrop"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output lacks %s:\n%s", name, stdout)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package analysis is declint's engine: a pure-stdlib static-analysis
+// driver (go/parser, go/types, go/importer — no external tooling) that
+// walks every package in the module and enforces the repository's
+// determinism, concurrency, and float-safety invariants as named,
+// individually-testable checks.
+//
+// The invariants exist because Decamouflage's detection thresholds
+// (MSE/SSIM/CSP, Tables V–IX of the paper) are only reproducible if every
+// numeric kernel is bit-deterministic. PR 1's internal/parallel substrate
+// established that by convention; these checks enforce it mechanically:
+//
+//	noraw-go     no raw go statements or sync.WaitGroup pools outside
+//	             internal/parallel — all fan-out routes through the substrate
+//	determinism  no time.Now, math/rand, or map-iteration-ordered output in
+//	             the numeric kernel packages
+//	floateq      no ==/!= on float operands outside the intentional
+//	             exact-equality helpers in internal/testutil
+//	naninput     exported tensor-accepting functions in metrics/steg/detect
+//	             must guard NaN/Inf or carry a //declint:nan-ok audit marker
+//	errdrop      no `_ =` discards of error-returning calls in non-test code
+//
+// Intentional violations are annotated in place:
+//
+//	//declint:ignore <check> <reason>
+//
+// where the reason is mandatory and the directive covers its own line and
+// the line below.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation at a position.
+type Finding struct {
+	Check string
+	Pos   token.Position
+	Msg   string
+}
+
+// String renders the canonical file:line:col form findings are reported in.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+}
+
+// Config scopes the checks. The zero value is unusable; start from
+// DefaultConfig, which encodes this repository's layout. All package
+// matching is by import-path suffix (see Package.HasSuffix), so testdata
+// fixtures that mirror the layout are checked under the same config.
+type Config struct {
+	// Checks names the checks to run, in registry order. Empty = all.
+	Checks []string
+
+	// ParallelPkg is the one package allowed to own raw goroutines.
+	ParallelPkg string
+	// DeterminismPkgs are the numeric kernel packages whose non-test code
+	// must be bit-deterministic.
+	DeterminismPkgs []string
+	// FloatEqAllowPkgs are packages whose float ==/!= are intentional by
+	// charter (the shared exact-equality test helpers).
+	FloatEqAllowPkgs []string
+	// NaNPkgs are the packages whose exported tensor-accepting functions
+	// the naninput check audits.
+	NaNPkgs []string
+	// TensorTypes are qualified named-type suffixes treated as image
+	// tensors (matched against the fully-qualified type string).
+	TensorTypes []string
+	// GuardFuncs are callee names accepted as NaN/Inf guards.
+	GuardFuncs []string
+}
+
+// DefaultConfig returns the configuration declint runs with on this module.
+func DefaultConfig() Config {
+	return Config{
+		ParallelPkg: "internal/parallel",
+		DeterminismPkgs: []string{
+			"internal/scaling", "internal/fourier", "internal/filtering",
+			"internal/metrics", "internal/steg", "internal/attack",
+			"internal/qpsolve", "internal/detect",
+		},
+		FloatEqAllowPkgs: []string{"internal/testutil"},
+		NaNPkgs:          []string{"internal/metrics", "internal/steg", "internal/detect"},
+		TensorTypes:      []string{"internal/imgcore.Image"},
+		GuardFuncs: []string{
+			"Validate", "checkPair", "HasNaN", "IsNaN", "IsInf", "Finite",
+		},
+	}
+}
+
+// A check inspects one package under a config and reports findings.
+type check struct {
+	name string
+	doc  string
+	run  func(pkg *Package, cfg Config) []Finding
+}
+
+// registry holds every check in report order. Names are part of the
+// suppression syntax, so they are stable API.
+var registry = []check{
+	{"noraw-go", "raw goroutines / WaitGroup pools outside internal/parallel", checkNoRawGo},
+	{"determinism", "time.Now, math/rand, map-ordered output in kernel packages", checkDeterminism},
+	{"floateq", "exact ==/!= on float operands", checkFloatEq},
+	{"naninput", "exported tensor functions without NaN/Inf guard or nan-ok marker", checkNaNInput},
+	{"errdrop", "_ = discards of error-returning calls", checkErrDrop},
+}
+
+// Checks lists the registered check names and one-line descriptions.
+func Checks() []struct{ Name, Doc string } {
+	out := make([]struct{ Name, Doc string }, len(registry))
+	for i, c := range registry {
+		out[i] = struct{ Name, Doc string }{c.name, c.doc}
+	}
+	return out
+}
+
+// KnownCheck reports whether name is a registered check.
+func KnownCheck(name string) bool {
+	for _, c := range registry {
+		if c.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the configured checks over the packages, applies
+// //declint:ignore suppressions, and returns the surviving findings sorted
+// by position. Malformed suppressions are reported as check "declint".
+func Run(pkgs []*Package, cfg Config) ([]Finding, error) {
+	enabled := map[string]bool{}
+	if len(cfg.Checks) == 0 {
+		for _, c := range registry {
+			enabled[c.name] = true
+		}
+	} else {
+		for _, name := range cfg.Checks {
+			if !KnownCheck(name) {
+				return nil, fmt.Errorf("unknown check %q", name)
+			}
+			enabled[name] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, c := range registry {
+		known[c.name] = true
+	}
+
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup, bad := collectSuppressions(pkg, known)
+		out = append(out, bad...)
+		for _, c := range registry {
+			if !enabled[c.name] {
+				continue
+			}
+			for _, f := range c.run(pkg, cfg) {
+				if !sup.suppressed(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one testdata mini-module and returns its findings
+// formatted as "relpath:line check", the form the golden tables pin.
+func loadFixture(t *testing.T, name string, cfg Config) []string {
+	t.Helper()
+	root := filepath.Join("testdata", name)
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	findings, err := Run(pkgs, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", root, err)
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(findings))
+	for _, f := range findings {
+		rel, err := filepath.Rel(abs, f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, fmt.Sprintf("%s:%d %s", filepath.ToSlash(rel), f.Pos.Line, f.Check))
+	}
+	return out
+}
+
+// TestGoldenFindings drives every fixture module through the default
+// config and pins the exact finding set: violating files are reported at
+// the right line with the right check name, clean and suppressed variants
+// stay silent, exempt packages and test files are skipped.
+func TestGoldenFindings(t *testing.T) {
+	cases := []struct {
+		fixture string
+		want    []string
+	}{
+		{
+			fixture: "norawgo",
+			want: []string{
+				"internal/scaling/pool.go:9 noraw-go",  // sync.WaitGroup pool
+				"internal/scaling/pool.go:13 noraw-go", // raw go statement
+				// internal/parallel is exempt; suppressed.go is annotated;
+				// pool_test.go is a test file.
+			},
+		},
+		{
+			fixture: "determinism",
+			want: []string{
+				"internal/scaling/bad.go:6 determinism",  // math/rand import
+				"internal/scaling/bad.go:12 determinism", // time.Now
+				"internal/scaling/bad.go:19 determinism", // map-ordered append
+				// SumValues (pure accumulation), sorted.go (annotated),
+				// bad_test.go (test file), eval/clock.go (unscoped) are silent.
+			},
+		},
+		{
+			fixture: "floateq",
+			want: []string{
+				"internal/metrics/cmp.go:6 floateq",      // float64 ==
+				"internal/metrics/cmp.go:11 floateq",     // float32 !=
+				"internal/metrics/cmp_test.go:8 floateq", // tests are covered
+				// ZeroGuard is annotated; testutil is allowlisted; int == is fine.
+			},
+		},
+		{
+			fixture: "naninput",
+			want: []string{
+				"internal/metrics/api.go:8 naninput",  // pointer tensor param
+				"internal/metrics/api.go:13 naninput", // slice-of-tensor param
+				// Guarded calls Validate, Marked carries nan-ok, helper is
+				// unexported, Scalar has no tensor, attack is unscoped.
+			},
+		},
+		{
+			fixture: "errdrop",
+			want: []string{
+				"internal/report/drop.go:17 errdrop", // _ = mayFail()
+				"internal/report/drop.go:18 errdrop", // _, _ = twoVals()
+				// line 20 is annotated; Sprintf returns no error; tests exempt.
+			},
+		},
+		{
+			fixture: "suppress",
+			want: []string{
+				"internal/scaling/bad.go:7 declint",  // directive names no check
+				"internal/scaling/bad.go:8 floateq",  // ...so nothing is silenced
+				"internal/scaling/bad.go:13 declint", // unknown check name
+				"internal/scaling/bad.go:14 floateq",
+				"internal/scaling/bad.go:20 declint", // missing reason
+				"internal/scaling/bad.go:21 floateq",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			got := loadFixture(t, tc.fixture, DefaultConfig())
+			if strings.Join(got, "\n") != strings.Join(tc.want, "\n") {
+				t.Errorf("findings mismatch\ngot:\n  %s\nwant:\n  %s",
+					strings.Join(got, "\n  "), strings.Join(tc.want, "\n  "))
+			}
+		})
+	}
+}
+
+// TestCheckSubset: restricting cfg.Checks runs only the named checks,
+// while suppression hygiene (check "declint") is always enforced.
+func TestCheckSubset(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Checks = []string{"errdrop"}
+	got := loadFixture(t, "suppress", cfg)
+	want := []string{
+		"internal/scaling/bad.go:7 declint",
+		"internal/scaling/bad.go:13 declint",
+		"internal/scaling/bad.go:20 declint",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnknownCheckRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Checks = []string{"nosuchcheck"}
+	pkgs, err := LoadModule(filepath.Join("testdata", "errdrop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(pkgs, cfg); err == nil {
+		t.Fatal("Run accepted an unknown check name")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"noraw-go", "determinism", "floateq", "naninput", "errdrop"}
+	checks := Checks()
+	if len(checks) != len(want) {
+		t.Fatalf("registry has %d checks, want %d", len(checks), len(want))
+	}
+	for i, c := range checks {
+		if c.Name != want[i] {
+			t.Errorf("check %d = %s, want %s", i, c.Name, want[i])
+		}
+		if c.Doc == "" {
+			t.Errorf("check %s has no doc", c.Name)
+		}
+		if !KnownCheck(c.Name) {
+			t.Errorf("KnownCheck(%s) = false", c.Name)
+		}
+	}
+	if KnownCheck("bogus") {
+		t.Error("KnownCheck(bogus) = true")
+	}
+}

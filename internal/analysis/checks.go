@@ -1,0 +1,416 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ---- shared helpers ----------------------------------------------------
+
+func (p *Package) pos(n ast.Node) token.Position { return p.Fset.Position(n.Pos()) }
+
+// pkgNameOf resolves e to the imported package it names, or nil.
+func pkgNameOf(info *types.Info, e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// selectsPkgFunc reports whether e is a selector <pkg>.<name> for the given
+// import path.
+func selectsPkgFunc(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	pn := pkgNameOf(info, sel.X)
+	return pn != nil && pn.Imported().Path() == pkgPath
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0 && b.Info()&types.IsComplex == 0
+}
+
+// calleeName returns the bare name of a call's callee: f(...) -> "f",
+// x.M(...) -> "M". Empty when the callee is not a named selector or ident.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// matchesAnySuffix reports whether the package path matches any configured
+// suffix, in either its library or external-test (path + "_test") form.
+func matchesAnySuffix(pkg *Package, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkg.HasSuffix(s) || pkg.HasSuffix(s+"_test") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- noraw-go ----------------------------------------------------------
+
+// checkNoRawGo forbids raw `go` statements and sync.WaitGroup worker pools
+// outside the one package that is allowed to own them: internal/parallel.
+// Everything else must express fan-out through the substrate, which is what
+// makes "chunk boundaries depend only on range length and grain" a global
+// property instead of a per-call-site promise.
+func checkNoRawGo(pkg *Package, cfg Config) []Finding {
+	if pkg.HasSuffix(cfg.ParallelPkg) || pkg.HasSuffix(cfg.ParallelPkg+"_test") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				out = append(out, Finding{
+					Check: "noraw-go", Pos: pkg.pos(n),
+					Msg: "raw go statement outside " + cfg.ParallelPkg +
+						"; route fan-out through the parallel substrate",
+				})
+			case *ast.SelectorExpr:
+				if pn := pkgNameOf(pkg.Info, n.X); pn != nil &&
+					pn.Imported().Path() == "sync" && n.Sel.Name == "WaitGroup" {
+					out = append(out, Finding{
+						Check: "noraw-go", Pos: pkg.pos(n),
+						Msg: "sync.WaitGroup worker pool outside " + cfg.ParallelPkg +
+							"; route fan-out through the parallel substrate",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ---- determinism -------------------------------------------------------
+
+// orderDependentSink reports the first statement inside a map-range body
+// whose effect depends on iteration order: growing a slice, writing or
+// formatting output, or sending on a channel. Pure accumulation (sums,
+// counters, building another map) is order-independent and allowed.
+func orderDependentSink(body *ast.BlockStmt, info *types.Info) (ast.Node, string) {
+	var node ast.Node
+	var what string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			node, what = n, "channel send"
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin && name == "append" {
+					node, what = n, "append"
+					return false
+				}
+			}
+			for _, prefix := range []string{"Print", "Fprint", "Sprint", "Write"} {
+				if strings.HasPrefix(name, prefix) {
+					node, what = n, name+" call"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return node, what
+}
+
+// checkDeterminism forbids the three classic nondeterminism sources in the
+// numeric kernel packages' non-test code: wall-clock reads, math/rand, and
+// map iteration feeding order-dependent output.
+func checkDeterminism(pkg *Package, cfg Config) []Finding {
+	if !matchesAnySuffix(pkg, cfg.DeterminismPkgs) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, imp := range f.Ast.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, Finding{
+					Check: "determinism", Pos: pkg.pos(imp),
+					Msg: "import of " + path + " in a kernel package; " +
+						"thread explicit seeds through a deterministic source instead",
+				})
+			}
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if selectsPkgFunc(pkg.Info, n, "time", "Now") {
+					out = append(out, Finding{
+						Check: "determinism", Pos: pkg.pos(n),
+						Msg: "time.Now in a kernel package makes output time-dependent",
+					})
+				}
+			case *ast.RangeStmt:
+				if n.X == nil {
+					return true
+				}
+				tv, ok := pkg.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sink, what := orderDependentSink(n.Body, pkg.Info); sink != nil {
+					out = append(out, Finding{
+						Check: "determinism", Pos: pkg.pos(n),
+						Msg: "map iteration feeds order-dependent output (" + what +
+							"); iterate sorted keys instead",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ---- floateq -----------------------------------------------------------
+
+// checkFloatEq forbids exact ==/!= between float operands everywhere —
+// test code included, since the serial-vs-parallel equivalence suites are
+// exactly where accidental exact comparisons hide. Intentional bit-equality
+// lives in the allowlisted internal/testutil helpers; everything else
+// either calls those or carries an ignore directive explaining itself.
+func checkFloatEq(pkg *Package, cfg Config) []Finding {
+	if matchesAnySuffix(pkg, cfg.FloatEqAllowPkgs) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, okx := pkg.Info.Types[be.X]
+			ty, oky := pkg.Info.Types[be.Y]
+			if okx && oky && isFloat(tx.Type) && isFloat(ty.Type) {
+				out = append(out, Finding{
+					Check: "floateq", Pos: pkg.pos(be),
+					Msg: "exact " + be.Op.String() + " on float operands; " +
+						"use a tolerance, or internal/testutil for intentional bit equality",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ---- naninput ----------------------------------------------------------
+
+// tensorParam reports whether the field's type is (a pointer, slice, array,
+// or variadic form of) one of the configured tensor types.
+func tensorParam(info *types.Info, field *ast.Field, tensorTypes []string) bool {
+	tv, ok := info.Types[field.Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for _, want := range tensorTypes {
+		if full == want || strings.HasSuffix(full, "/"+want) {
+			return true
+		}
+	}
+	return false
+}
+
+// callsGuard reports whether the body directly calls one of the configured
+// NaN/Inf guard functions (Validate, HasNaN, math.IsNaN, ...).
+func callsGuard(body *ast.BlockStmt, guards []string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		for _, g := range guards {
+			if name == g {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// docHasNaNOK reports whether the func's doc comment carries the
+// //declint:nan-ok audit marker.
+func docHasNaNOK(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), nanOKMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNaNInput audits the scoring surface: every exported function or
+// method in the metrics/steg/detect packages that accepts an image tensor
+// must either call a NaN/Inf guard in its own body or carry a
+// //declint:nan-ok marker in its doc comment stating the handling was
+// audited (e.g. the function is total over NaN/Inf, or delegates to a
+// callee that guards). The paper's thresholds are meaningless on NaN
+// scores, so "what happens on a poisoned tensor" must be a decided
+// property of every entry point, not an accident.
+func checkNaNInput(pkg *Package, cfg Config) []Finding {
+	if !matchesAnySuffix(pkg, cfg.NaNPkgs) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			hasTensor := false
+			for _, field := range fd.Type.Params.List {
+				if tensorParam(pkg.Info, field, cfg.TensorTypes) {
+					hasTensor = true
+					break
+				}
+			}
+			if !hasTensor {
+				continue
+			}
+			if docHasNaNOK(fd.Doc) {
+				continue
+			}
+			if fd.Body != nil && callsGuard(fd.Body, cfg.GuardFuncs) {
+				continue
+			}
+			out = append(out, Finding{
+				Check: "naninput", Pos: pkg.pos(fd.Name),
+				Msg: "exported " + fd.Name.Name + " accepts an image tensor but neither " +
+					"guards NaN/Inf nor documents handling with " + nanOKMarker,
+			})
+		}
+	}
+	return out
+}
+
+// ---- errdrop -----------------------------------------------------------
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the call's result set includes error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// checkErrDrop forbids `_ = f()` discards of error-returning calls in
+// non-test code. A dropped error in a numeric pipeline silently converts a
+// failed computation into stale or zero-valued output — exactly the class
+// of bug the detection thresholds cannot survive.
+func checkErrDrop(pkg *Package, cfg Config) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" {
+					return true
+				}
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok || !returnsError(pkg.Info, call) {
+				return true
+			}
+			out = append(out, Finding{
+				Check: "errdrop", Pos: pkg.pos(as),
+				Msg: "error from " + callLabel(call) + " discarded with _; " +
+					"handle it or annotate why it cannot fail",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func callLabel(call *ast.CallExpr) string {
+	if name := calleeName(call); name != "" {
+		return name
+	}
+	return "call"
+}

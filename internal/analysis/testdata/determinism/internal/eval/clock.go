@@ -1,0 +1,8 @@
+// Package eval is a fixture: NOT a kernel package, so wall-clock reads are
+// fine here (runtime measurement is eval's job).
+package eval
+
+import "time"
+
+// Stamp returns the current wall-clock nanos.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,17 @@
+package scaling
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Test files may use wall clocks and math/rand freely.
+func TestJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	start := time.Now()
+	_ = Jitter()
+	if rng.Float64() < 0 || time.Since(start) < 0 {
+		t.Fatal("impossible")
+	}
+}

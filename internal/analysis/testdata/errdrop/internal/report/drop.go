@@ -1,0 +1,23 @@
+// Package report is a fixture: every shape of blank-discarded error.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoVals() (int, error) { return 0, errors.New("boom") }
+
+// Drop discards errors three ways; the first two are flagged, the
+// annotated one is not.
+func Drop() string {
+	_ = mayFail()
+	_, _ = twoVals()
+	//declint:ignore errdrop sink can never fail on a fresh builder
+	_ = mayFail()
+	s := fmt.Sprintf("%d", 42) // no error result: not errdrop's business
+	return s + strconv.Itoa(7)
+}

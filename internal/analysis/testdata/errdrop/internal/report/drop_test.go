@@ -1,0 +1,11 @@
+package report
+
+import "testing"
+
+// Test files may discard errors; errdrop is scoped to non-test code.
+func TestDrop(t *testing.T) {
+	_ = mayFail()
+	if Drop() == "" {
+		t.Fatal("empty")
+	}
+}

@@ -1,0 +1,21 @@
+// Package metrics is a fixture: exact float comparisons in non-test code.
+package metrics
+
+// Same64 compares float64 exactly: flagged.
+func Same64(a, b float64) bool {
+	return a == b
+}
+
+// Differ32 compares float32 exactly: flagged.
+func Differ32(x, y float32) bool {
+	return x != y
+}
+
+// ZeroGuard is an annotated, intentional exact comparison.
+func ZeroGuard(v float64) bool {
+	//declint:ignore floateq exact zero is the documented sentinel
+	return v == 0
+}
+
+// IntsAreFine never trips the check.
+func IntsAreFine(i, j int) bool { return i == j }

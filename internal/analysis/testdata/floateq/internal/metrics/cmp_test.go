@@ -1,0 +1,11 @@
+package metrics
+
+import "testing"
+
+// floateq covers test files too: this exact comparison is flagged.
+func TestSame64(t *testing.T) {
+	got := 0.1 + 0.2
+	if got == 0.3 {
+		t.Fatal("exact float equality held by accident")
+	}
+}

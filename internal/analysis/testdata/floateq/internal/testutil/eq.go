@@ -1,0 +1,6 @@
+// Package testutil is a fixture: the allowlisted home of intentional exact
+// equality. Nothing here is flagged.
+package testutil
+
+// BitEqual is the canonical intentional exact comparison.
+func BitEqual(a, b float64) bool { return a == b }

@@ -1,0 +1,8 @@
+// Package attack is a fixture: NOT one of the audited packages, so an
+// unguarded tensor function is fine here.
+package attack
+
+import "naninput/internal/imgcore"
+
+// Craft is out of naninput's scope.
+func Craft(src *imgcore.Image) float64 { return src.Pix[0] }

@@ -1,0 +1,26 @@
+// Package imgcore is a fixture tensor type with a validation guard.
+package imgcore
+
+import (
+	"errors"
+	"math"
+)
+
+// Image is the fixture image tensor.
+type Image struct {
+	W, H, C int
+	Pix     []float64
+}
+
+// Validate rejects malformed or non-finite tensors.
+func (m *Image) Validate() error {
+	if m == nil || len(m.Pix) != m.W*m.H*m.C {
+		return errors.New("imgcore: malformed image")
+	}
+	for _, v := range m.Pix {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("imgcore: non-finite sample")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package metrics is a fixture: the tensor-accepting API surface the
+// naninput check audits.
+package metrics
+
+import "naninput/internal/imgcore"
+
+// Bad accepts a tensor with no guard and no marker: flagged.
+func Bad(a, b *imgcore.Image) float64 {
+	return a.Pix[0] - b.Pix[0]
+}
+
+// BadBatch shows slice-of-tensor params are covered too: flagged.
+func BadBatch(imgs []*imgcore.Image) int {
+	return len(imgs)
+}
+
+// Guarded validates its input, which satisfies the check.
+func Guarded(a *imgcore.Image) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	return a.Pix[0], nil
+}
+
+// Marked documents its NaN behaviour instead of guarding: NaN samples
+// propagate to the returned score, which callers threshold with IsNaN.
+//
+//declint:nan-ok NaN propagates to the score by design
+func Marked(a *imgcore.Image) float64 {
+	return a.Pix[0]
+}
+
+// helper is unexported: out of scope.
+func helper(a *imgcore.Image) float64 { return a.Pix[0] }
+
+// Scalar takes no tensor: out of scope.
+func Scalar(x float64) float64 { return x * x }

@@ -1,0 +1,18 @@
+// Package parallel is a fixture: the one package allowed to own raw
+// goroutines and WaitGroups, so noraw-go must stay silent here.
+package parallel
+
+import "sync"
+
+// Do runs every task on its own goroutine.
+func Do(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t()
+		}()
+	}
+	wg.Wait()
+}

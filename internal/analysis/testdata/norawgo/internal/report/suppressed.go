@@ -1,0 +1,14 @@
+// Package report is a fixture: an annotated, intentional goroutine that a
+// well-formed suppression must silence.
+package report
+
+// Serve starts a long-lived background listener.
+func Serve(handle func()) {
+	//declint:ignore noraw-go long-lived server goroutine, not numeric fan-out
+	go handle()
+}
+
+// ServeTrailing exercises the same-line suppression form.
+func ServeTrailing(handle func()) {
+	go handle() //declint:ignore noraw-go long-lived server goroutine, not numeric fan-out
+}

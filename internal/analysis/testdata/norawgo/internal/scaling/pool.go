@@ -1,0 +1,24 @@
+// Package scaling is a fixture: a hand-rolled worker pool in a kernel
+// package, which noraw-go must flag (both the WaitGroup and the go stmt).
+package scaling
+
+import "sync"
+
+// Sum fans out over a hand-rolled pool.
+func Sum(xs []int) int {
+	var wg sync.WaitGroup
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = x * x
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,22 @@
+// Package scaling is a fixture: malformed suppressions are findings
+// themselves and do not silence anything.
+package scaling
+
+// NoCheckName has a directive that names no check.
+func NoCheckName(a, b float64) bool {
+	//declint:ignore
+	return a == b
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck(a, b float64) bool {
+	//declint:ignore nosuchcheck because reasons
+	return a == b
+}
+
+// MissingReason names a real check but gives no reason, so the float
+// comparison below it is still reported.
+func MissingReason(a, b float64) bool {
+	//declint:ignore floateq
+	return a == b
+}

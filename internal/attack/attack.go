@@ -82,6 +82,7 @@ var (
 )
 
 func (c Config) withDefaults() Config {
+	//declint:ignore floateq zero is the unset-option sentinel, set only by literal omission
 	if c.Eps == 0 {
 		c.Eps = 1
 	}

@@ -8,6 +8,7 @@ import (
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/metrics"
 	"decamouflage/internal/scaling"
+	"decamouflage/internal/testutil"
 )
 
 func smoothImage(seed int64, w, h, c int) *imgcore.Image {
@@ -167,7 +168,7 @@ func TestCraftQuantizedOutputIsIntegral(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, v := range res.Attack.Pix {
-		if v != math.Trunc(v) {
+		if !testutil.BitEqual(v, math.Trunc(v)) {
 			t.Fatalf("pixel %d = %v not integral after quantization", i, v)
 		}
 	}

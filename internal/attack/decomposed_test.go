@@ -7,6 +7,7 @@ import (
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/metrics"
 	"decamouflage/internal/scaling"
+	"decamouflage/internal/testutil"
 )
 
 func TestCraftDecomposedValidation(t *testing.T) {
@@ -133,7 +134,7 @@ func TestDecomposedQuantizedIntegral(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, v := range res.Attack.Pix {
-		if v != math.Trunc(v) {
+		if !testutil.BitEqual(v, math.Trunc(v)) {
 			t.Fatalf("pixel %d = %v not integral", i, v)
 		}
 	}

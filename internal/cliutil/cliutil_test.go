@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"decamouflage/internal/detect"
+	"decamouflage/internal/testutil"
 )
 
 func TestParseSize(t *testing.T) {
@@ -47,7 +48,7 @@ func TestCalibrationFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	th, ok := back.Get("scaling/MSE")
-	if !ok || th.Value != 1714.96 {
+	if !ok || !testutil.BitEqual(th.Value, 1714.96) {
 		t.Errorf("round trip = %+v ok=%v", th, ok)
 	}
 	if _, err := LoadCalibration(filepath.Join(t.TempDir(), "missing.json")); err == nil {

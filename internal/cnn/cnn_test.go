@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/testutil"
 )
 
 func TestNewNetworkValidation(t *testing.T) {
@@ -71,7 +72,7 @@ func TestSoftmaxStable(t *testing.T) {
 	if math.Abs(sum-1) > 1e-9 {
 		t.Errorf("sum %v", sum)
 	}
-	if p[0] != p[1] || p[2] >= p[0] {
+	if !testutil.BitEqual(p[0], p[1]) || p[2] >= p[0] {
 		t.Errorf("ordering wrong: %v", p)
 	}
 }
@@ -95,7 +96,7 @@ func TestShapeImages(t *testing.T) {
 		// Deterministic.
 		again := ShapeImage(class, 32, 7)
 		for i := range img.Pix {
-			if img.Pix[i] != again.Pix[i] {
+			if !testutil.BitEqual(img.Pix[i], again.Pix[i]) {
 				t.Fatalf("class %d not deterministic", class)
 			}
 		}

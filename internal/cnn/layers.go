@@ -80,6 +80,7 @@ func (c *conv2D) backward(gradOut *Volume) *Volume {
 		for y := 0; y < c.outH; y++ {
 			for x := 0; x < c.outW; x++ {
 				g := gradOut.At(x, y, oc)
+				//declint:ignore floateq exact-zero gradient skip is a pure optimization, any nonzero bit takes the full path
 				if g == 0 {
 					continue
 				}

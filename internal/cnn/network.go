@@ -150,9 +150,11 @@ func (o TrainOptions) withDefaults() TrainOptions {
 	if o.Epochs == 0 {
 		o.Epochs = 5
 	}
+	//declint:ignore floateq zero is the unset-option sentinel, set only by literal omission
 	if o.LearningRate == 0 {
 		o.LearningRate = 0.01
 	}
+	//declint:ignore floateq zero is the unset-option sentinel, set only by literal omission
 	if o.Momentum == 0 {
 		o.Momentum = 0.9
 	}

@@ -3,6 +3,8 @@ package cnn
 import (
 	"path/filepath"
 	"testing"
+
+	"decamouflage/internal/testutil"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -37,7 +39,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			t.Fatalf("class %d: predictions diverge %d vs %d", class, p1, p2)
 		}
 		for i := range probs1 {
-			if probs1[i] != probs2[i] {
+			if !testutil.BitEqual(probs1[i], probs2[i]) {
 				t.Fatalf("class %d: probabilities diverge", class)
 			}
 		}

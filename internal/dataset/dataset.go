@@ -212,6 +212,7 @@ func spectralField(rng *rand.Rand, w, h int, alpha float64) []float64 {
 				fx = float64(x - w)
 			}
 			f := math.Hypot(fx/float64(w), fy/float64(h))
+			//declint:ignore floateq radial frequency is exactly zero only at the DC bin
 			if f == 0 {
 				continue // no DC: mean added separately
 			}
@@ -249,6 +250,7 @@ func normalizeField(f []float64, std float64) {
 		variance += f[i] * f[i]
 	}
 	variance /= float64(len(f))
+	//declint:ignore floateq exact-zero variance (constant signal) is the only degenerate case
 	if variance == 0 {
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/metrics"
 	"decamouflage/internal/scaling"
+	"decamouflage/internal/testutil"
 )
 
 func newRand(seed int64) *rand.Rand {
@@ -57,7 +58,7 @@ func TestDeterminism(t *testing.T) {
 	}
 	a, b := g1.Image(5), g2.Image(5)
 	for i := range a.Pix {
-		if a.Pix[i] != b.Pix[i] {
+		if !testutil.BitEqual(a.Pix[i], b.Pix[i]) {
 			t.Fatal("same (cfg, index) produced different images")
 		}
 	}
@@ -133,7 +134,7 @@ func TestImagesAreValid8Bit(t *testing.T) {
 				t.Fatalf("%v image %d has NaN", corpus, i)
 			}
 			for j, v := range img.Pix {
-				if v != math.Trunc(v) {
+				if !testutil.BitEqual(v, math.Trunc(v)) {
 					t.Fatalf("%v image %d sample %d = %v not quantized", corpus, i, j, v)
 				}
 			}
@@ -194,7 +195,7 @@ func TestBatch(t *testing.T) {
 	}
 	single := g.Image(2)
 	for i := range single.Pix {
-		if batch[2].Pix[i] != single.Pix[i] {
+		if !testutil.BitEqual(batch[2].Pix[i], single.Pix[i]) {
 			t.Fatal("Batch images differ from Image by index")
 		}
 	}
@@ -245,7 +246,7 @@ func TestNormalizeFieldDegenerate(t *testing.T) {
 	f := []float64{5, 5, 5}
 	normalizeField(f, 10) // must not divide by zero
 	for _, v := range f {
-		if v != 0 {
+		if !testutil.BitEqual(v, 0) {
 			t.Errorf("constant field normalized to %v, want 0 (mean removed)", v)
 		}
 	}
@@ -258,7 +259,7 @@ func TestAddShapeStaysLocal(t *testing.T) {
 	// At least one pixel changed, and not every pixel changed.
 	changed := 0
 	for _, v := range img.Pix {
-		if v != 0 {
+		if !testutil.BitEqual(v, 0) {
 			changed++
 		}
 	}

@@ -55,10 +55,12 @@ func RandomReconstruct(img *imgcore.Image, s *scaling.Scaler, window int, seed i
 	out := img.Clone()
 	var candidates []int
 	for y := 0; y < img.H; y++ {
+		//declint:ignore floateq the mask holds exact 0/1 values by construction
 		if useY[y] == 0 {
 			continue
 		}
 		for x := 0; x < img.W; x++ {
+			//declint:ignore floateq the mask holds exact 0/1 values by construction
 			if useX[x] == 0 {
 				continue
 			}
@@ -73,6 +75,7 @@ func RandomReconstruct(img *imgcore.Image, s *scaling.Scaler, window int, seed i
 					if xx < 0 || xx >= img.W {
 						continue
 					}
+					//declint:ignore floateq the mask holds exact 0/1 values by construction
 					if useY[yy] != 0 && useX[xx] != 0 {
 						continue
 					}
@@ -129,10 +132,12 @@ func MedianReconstruct(img *imgcore.Image, s *scaling.Scaler, window int) (*imgc
 	out := img.Clone()
 	buf := make([]float64, 0, (2*window+1)*(2*window+1))
 	for y := 0; y < img.H; y++ {
+		//declint:ignore floateq the mask holds exact 0/1 values by construction
 		if useY[y] == 0 {
 			continue
 		}
 		for x := 0; x < img.W; x++ {
+			//declint:ignore floateq the mask holds exact 0/1 values by construction
 			if useX[x] == 0 {
 				continue
 			}
@@ -150,6 +155,7 @@ func MedianReconstruct(img *imgcore.Image, s *scaling.Scaler, window int) (*imgc
 						if xx < 0 || xx >= img.W {
 							continue
 						}
+						//declint:ignore floateq the mask holds exact 0/1 values by construction
 						if useY[yy] != 0 && useX[xx] != 0 {
 							continue // skip other sampled pixels
 						}

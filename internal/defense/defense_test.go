@@ -8,6 +8,7 @@ import (
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/metrics"
 	"decamouflage/internal/scaling"
+	"decamouflage/internal/testutil"
 )
 
 func mustScaler(t testing.TB) *scaling.Scaler {
@@ -198,7 +199,7 @@ func TestRandomReconstructDeterministicPerSeed(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a.Pix {
-		if a.Pix[i] != b.Pix[i] {
+		if !testutil.BitEqual(a.Pix[i], b.Pix[i]) {
 			t.Fatal("same seed produced different reconstructions")
 		}
 	}
@@ -208,7 +209,7 @@ func TestRandomReconstructDeterministicPerSeed(t *testing.T) {
 	}
 	diff := 0
 	for i := range a.Pix {
-		if a.Pix[i] != c.Pix[i] {
+		if !testutil.BitEqual(a.Pix[i], c.Pix[i]) {
 			diff++
 		}
 	}

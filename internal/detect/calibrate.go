@@ -10,6 +10,8 @@ import (
 )
 
 // Scores evaluates a scorer over a corpus, returning one score per image.
+//
+//declint:nan-ok NaN/Inf handling is each scorer's contract; Scores only fans out
 func Scores(s Scorer, imgs []*imgcore.Image) ([]float64, error) {
 	if s == nil {
 		return nil, fmt.Errorf("detect: nil scorer")
@@ -66,6 +68,7 @@ func CalibrateWhiteBox(benign, attack []float64) (*WhiteBoxResult, error) {
 	candidates := make([]float64, 0, len(all)+1)
 	candidates = append(candidates, all[0]-1)
 	for i := 1; i < len(all); i++ {
+		//declint:ignore floateq candidate thresholds split only strictly distinct sorted scores
 		if all[i] != all[i-1] {
 			candidates = append(candidates, (all[i]+all[i-1])/2)
 		}
@@ -121,6 +124,7 @@ func CalibrateWhiteBoxIterative(benign, attack []float64) (*WhiteBoxResult, erro
 	sort.Float64s(all)
 	candidates := []float64{all[0] - 1}
 	for i := 1; i < len(all); i++ {
+		//declint:ignore floateq candidate thresholds split only strictly distinct sorted scores
 		if all[i] != all[i-1] {
 			candidates = append(candidates, (all[i]+all[i-1])/2)
 		}

@@ -9,6 +9,7 @@ import (
 
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/steg"
+	"decamouflage/internal/testutil"
 )
 
 func TestScores(t *testing.T) {
@@ -37,7 +38,7 @@ func TestCalibrateWhiteBoxSeparable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TrainAccuracy != 1 {
+	if !testutil.BitEqual(res.TrainAccuracy, 1) {
 		t.Errorf("separable accuracy = %v", res.TrainAccuracy)
 	}
 	if res.Threshold.Direction != Above {
@@ -62,7 +63,7 @@ func TestCalibrateWhiteBoxInvertedDirection(t *testing.T) {
 	if res.Threshold.Direction != Below {
 		t.Fatalf("direction = %v, want Below", res.Threshold.Direction)
 	}
-	if res.TrainAccuracy != 1 {
+	if !testutil.BitEqual(res.TrainAccuracy, 1) {
 		t.Errorf("accuracy = %v", res.TrainAccuracy)
 	}
 	// All benign classified benign, all attacks classified attack.
@@ -202,7 +203,7 @@ func TestCalibrationRoundTrip(t *testing.T) {
 		t.Errorf("setting = %q", back.Setting)
 	}
 	th, ok := back.Get("scaling/MSE")
-	if !ok || th.Value != 1714.96 || th.Direction != Above {
+	if !ok || !testutil.BitEqual(th.Value, 1714.96) || th.Direction != Above {
 		t.Errorf("round trip threshold = %+v ok=%v", th, ok)
 	}
 	if _, ok := back.Get("missing"); ok {
@@ -268,7 +269,7 @@ func TestCalibrateWhiteBoxIterativeInverted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if it.Threshold.Direction != Below || it.TrainAccuracy != 1 {
+	if it.Threshold.Direction != Below || !testutil.BitEqual(it.TrainAccuracy, 1) {
 		t.Errorf("iterative inverted = %+v", it)
 	}
 	if len(it.Curve) == 0 {

@@ -242,6 +242,8 @@ func NewStegScorer(opts steg.Options) *StegScorer {
 func (s *StegScorer) Name() string { return "steganalysis/CSP" }
 
 // Score implements Scorer.
+//
+//declint:nan-ok delegates to steg.CSP, which validates input; NaN/Inf totality is pinned by FuzzCSP
 func (s *StegScorer) Score(img *imgcore.Image) (float64, error) {
 	n, err := steg.CSP(img, s.opts)
 	if err != nil {
@@ -288,6 +290,8 @@ func (d *Detector) Name() string { return d.scorer.Name() }
 func (d *Detector) Threshold() Threshold { return d.threshold }
 
 // Detect scores img and classifies it.
+//
+//declint:nan-ok NaN/Inf handling is the scorer's contract; a NaN score classifies as benign (Classify is false on NaN)
 func (d *Detector) Detect(img *imgcore.Image) (Verdict, error) {
 	score, err := d.scorer.Score(img)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
+	"decamouflage/internal/testutil"
 )
 
 func mustScaler(t testing.TB, srcW, srcH, dstW, dstH int) *scaling.Scaler {
@@ -182,7 +183,7 @@ func TestStegScorerErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if score != math.Trunc(score) || score < 0 {
+	if !testutil.BitEqual(score, math.Trunc(score)) || score < 0 {
 		t.Errorf("CSP score %v not a count", score)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"decamouflage/internal/steg"
+	"decamouflage/internal/testutil"
 )
 
 func validConfig() *SystemConfig {
@@ -56,7 +57,7 @@ func TestSystemConfigRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Algorithm != "bilinear" || back.Steg.BinarizeThreshold != 0.7 {
+	if back.Algorithm != "bilinear" || !testutil.BitEqual(back.Steg.BinarizeThreshold, 0.7) {
 		t.Errorf("round trip lost data: %+v", back)
 	}
 	if _, err := UnmarshalSystemConfig([]byte("{")); err == nil {

@@ -9,14 +9,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"decamouflage/internal/attack"
 	"decamouflage/internal/dataset"
 	"decamouflage/internal/detect"
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/parallel"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/stats"
 )
@@ -140,6 +139,7 @@ func (s CorpusSpec) withDefaults() CorpusSpec {
 	if s.AttackAlgorithm == 0 {
 		s.AttackAlgorithm = s.Algorithm
 	}
+	//declint:ignore floateq zero is the unset-option sentinel, set only by literal omission
 	if s.Eps == 0 {
 		s.Eps = 2
 	}
@@ -212,61 +212,18 @@ func BuildCorpus(ctx context.Context, spec CorpusSpec) (*Corpus, error) {
 	return c, nil
 }
 
-// forEachParallel fans fn(i) for i in [0,n) across CPU-count workers,
-// stopping on the first error or context cancellation.
+// forEachParallel fans fn(i) for i in [0,n) through the shared parallel
+// substrate, stopping on the first error (ties broken toward the lowest
+// index, so the returned error is deterministic) or context cancellation.
 func forEachParallel(ctx context.Context, n int, fn func(i int) error) error {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	// failed is closed exactly once, when any worker records an error, so
-	// the dispatcher can never block on idx after every worker has exited.
-	failed := make(chan struct{})
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-						close(failed)
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	dispatch := func() error {
-		defer close(idx)
-		for i := 0; i < n; i++ {
-			select {
-			case idx <- i:
-			case <-failed:
-				return nil
-			case <-ctx.Done():
-				return ctx.Err()
+	return parallel.For(ctx, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := fn(i); err != nil {
+				return err
 			}
 		}
 		return nil
-	}
-	ctxErr := dispatch()
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctxErr
+	})
 }
 
 // ScorePair evaluates a scorer over the corpus's benign and attack sets in

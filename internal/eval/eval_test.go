@@ -11,6 +11,7 @@ import (
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
+	"decamouflage/internal/testutil"
 )
 
 func TestConfusionStats(t *testing.T) {
@@ -51,7 +52,7 @@ func TestConfusionStats(t *testing.T) {
 
 func TestConfusionStatsEmptyDenominators(t *testing.T) {
 	var c ConfusionStats
-	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.FAR() != 0 || c.FRR() != 0 {
+	if !testutil.BitEqual(c.Accuracy(), 0) || !testutil.BitEqual(c.Precision(), 0) || !testutil.BitEqual(c.Recall(), 0) || !testutil.BitEqual(c.FAR(), 0) || !testutil.BitEqual(c.FRR(), 0) {
 		t.Error("empty stats should be all zero")
 	}
 }
@@ -122,7 +123,7 @@ func TestBuildCorpusDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a.Attacks[1].Pix {
-		if a.Attacks[1].Pix[i] != b.Attacks[1].Pix[i] {
+		if !testutil.BitEqual(a.Attacks[1].Pix[i], b.Attacks[1].Pix[i]) {
 			t.Fatal("corpus not deterministic")
 		}
 	}

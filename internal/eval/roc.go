@@ -56,6 +56,7 @@ func ROC(benign, attacks []float64, dir detect.Direction) ([]ROCPoint, float64, 
 	for i := 0; i < len(samples); {
 		// Process ties together so the curve is well-defined.
 		j := i
+		//declint:ignore floateq ties must be grouped exactly for the ROC curve to be well-defined
 		for j < len(samples) && samples[j].score == samples[i].score {
 			if samples[j].attack {
 				tp++

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"decamouflage/internal/detect"
+	"decamouflage/internal/testutil"
 )
 
 func TestROCPerfectSeparation(t *testing.T) {
@@ -17,11 +18,11 @@ func TestROCPerfectSeparation(t *testing.T) {
 	if math.Abs(auc-1) > 1e-12 {
 		t.Errorf("AUC = %v, want 1", auc)
 	}
-	if points[0].FPR != 0 || points[0].TPR != 0 {
+	if !testutil.BitEqual(points[0].FPR, 0) || !testutil.BitEqual(points[0].TPR, 0) {
 		t.Errorf("first point = %+v", points[0])
 	}
 	last := points[len(points)-1]
-	if last.FPR != 1 || last.TPR != 1 {
+	if !testutil.BitEqual(last.FPR, 1) || !testutil.BitEqual(last.TPR, 1) {
 		t.Errorf("last point = %+v", last)
 	}
 }

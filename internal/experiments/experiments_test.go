@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"decamouflage/internal/scaling"
+	"decamouflage/internal/testutil"
 )
 
 func testConfig(t *testing.T, out *strings.Builder) Config {
@@ -25,12 +26,12 @@ func TestConfigDefaults(t *testing.T) {
 	if cfg.N != 100 || cfg.SrcW != 128 || cfg.DstW != 32 || cfg.Algorithm != scaling.Bilinear {
 		t.Errorf("defaults = %+v", cfg)
 	}
-	if cfg.Eps != 2 || cfg.Seed != 1 || cfg.Out == nil {
+	if !testutil.BitEqual(cfg.Eps, 2) || cfg.Seed != 1 || cfg.Out == nil {
 		t.Errorf("defaults = %+v", cfg)
 	}
 	// Explicit values survive.
 	cfg = Config{N: 5, Eps: 4}.withDefaults()
-	if cfg.N != 5 || cfg.Eps != 4 {
+	if cfg.N != 5 || !testutil.BitEqual(cfg.Eps, 4) {
 		t.Errorf("explicit values clobbered: %+v", cfg)
 	}
 }

@@ -65,6 +65,7 @@ func (c Config) withDefaults() Config {
 	if c.Algorithm == 0 {
 		c.Algorithm = scaling.Bilinear
 	}
+	//declint:ignore floateq zero is the unset-option sentinel, set only by literal omission
 	if c.Eps == 0 {
 		c.Eps = 2
 	}

@@ -90,6 +90,7 @@ func (r *Runner) blackBoxTable(ctx context.Context, title string, mkScorer func(
 			}
 			cs := eval.EvaluateThreshold(th, benign, attacks)
 			row := append([]string{m.String(), fmt.Sprintf("%.0f%%", p)}, statsCells(cs)...)
+			//declint:ignore floateq the row key is an exact small-integer-valued float
 			if p == 2 { // paper prints mean/std on the middle row
 				row = append(row, report.F(mean, 2), report.F(std, 2))
 			}

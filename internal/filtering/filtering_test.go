@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/testutil"
 )
 
 func randImage(seed int64, w, h, c int) *imgcore.Image {
@@ -36,7 +37,7 @@ func TestMinimumKnownValues(t *testing.T) {
 		2, 1, 1,
 	}
 	for i := range want {
-		if out.Pix[i] != want[i] {
+		if !testutil.BitEqual(out.Pix[i], want[i]) {
 			t.Errorf("min at %d = %v, want %v (got %v)", i, out.Pix[i], want[i], out.Pix)
 			break
 		}
@@ -55,10 +56,10 @@ func TestMaximumKnownValues(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 3x3 centered window with replicate borders.
-	if out.At(1, 1, 0) != 9 {
+	if !testutil.BitEqual(out.At(1, 1, 0), 9) {
 		t.Errorf("max center = %v, want 9", out.At(1, 1, 0))
 	}
-	if out.At(0, 0, 0) != 5 {
+	if !testutil.BitEqual(out.At(0, 0, 0), 5) {
 		t.Errorf("max corner = %v, want 5", out.At(0, 0, 0))
 	}
 }
@@ -71,7 +72,7 @@ func TestMedianKnownValues(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Window at center: {10, 0, 100} -> 10.
-	if out.At(1, 0, 0) != 10 {
+	if !testutil.BitEqual(out.At(1, 0, 0), 10) {
 		t.Errorf("median = %v, want 10", out.At(1, 0, 0))
 	}
 }
@@ -84,7 +85,7 @@ func TestMedianEvenWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Top-left window covers all four: median of even count = (2+3)/2.
-	if out.At(0, 0, 0) != 2.5 {
+	if !testutil.BitEqual(out.At(0, 0, 0), 2.5) {
 		t.Errorf("even median = %v, want 2.5", out.At(0, 0, 0))
 	}
 }
@@ -103,7 +104,7 @@ func TestRankFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range minOut.Pix {
-		if minOut.Pix[i] != wantMin.Pix[i] {
+		if !testutil.BitEqual(minOut.Pix[i], wantMin.Pix[i]) {
 			t.Fatalf("Rank(0) != Minimum at %d", i)
 		}
 	}
@@ -116,7 +117,7 @@ func TestRankFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range maxOut.Pix {
-		if maxOut.Pix[i] != wantMax.Pix[i] {
+		if !testutil.BitEqual(maxOut.Pix[i], wantMax.Pix[i]) {
 			t.Fatalf("Rank(8) != Maximum at %d", i)
 		}
 	}
@@ -221,7 +222,7 @@ func TestMinimumRemovesIsolatedBrightPixels(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, v := range out.Pix {
-		if v != 50 {
+		if !testutil.BitEqual(v, 50) {
 			t.Fatalf("bright spike survived min filter at %d: %v", i, v)
 		}
 	}
@@ -270,7 +271,7 @@ func TestBoxFilterAverages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.At(0, 0, 0) != 6 {
+	if !testutil.BitEqual(out.At(0, 0, 0), 6) {
 		t.Errorf("box(0,0) = %v, want 6", out.At(0, 0, 0))
 	}
 }
@@ -285,7 +286,7 @@ func TestFiltersDoNotMutateInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range img.Pix {
-		if img.Pix[i] != snapshot[i] {
+		if !testutil.BitEqual(img.Pix[i], snapshot[i]) {
 			t.Fatal("filter mutated its input")
 		}
 	}

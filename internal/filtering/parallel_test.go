@@ -6,6 +6,7 @@ import (
 
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/parallel"
+	"decamouflage/internal/testutil"
 )
 
 // noiseImage builds a reproducible random image.
@@ -43,7 +44,7 @@ func TestRankFilterSerialParallelEquivalence(t *testing.T) {
 							t.Fatalf("%s workers=%d: %v", name, workers, err)
 						}
 						for i := range want.Pix {
-							if got.Pix[i] != want.Pix[i] {
+							if !testutil.BitEqual(got.Pix[i], want.Pix[i]) {
 								t.Fatalf("%s %dx%dx%d w=%d workers=%d: sample %d differs: %v vs %v",
 									name, wh[0], wh[1], c, window, workers, i, got.Pix[i], want.Pix[i])
 							}
@@ -81,12 +82,12 @@ func TestBoxGaussianSerialParallelEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				for i := range wantBox.Pix {
-					if gotBox.Pix[i] != wantBox.Pix[i] {
+					if !testutil.BitEqual(gotBox.Pix[i], wantBox.Pix[i]) {
 						t.Fatalf("box %dx%dx%d workers=%d: sample %d differs", wh[0], wh[1], c, workers, i)
 					}
 				}
 				for i := range wantGauss.Pix {
-					if gotGauss.Pix[i] != wantGauss.Pix[i] {
+					if !testutil.BitEqual(gotGauss.Pix[i], wantGauss.Pix[i]) {
 						t.Fatalf("gaussian %dx%dx%d workers=%d: sample %d differs", wh[0], wh[1], c, workers, i)
 					}
 				}
@@ -109,7 +110,7 @@ func TestExportedFiltersMatchPinnedSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range want.Pix {
-		if got.Pix[i] != want.Pix[i] {
+		if !testutil.BitEqual(got.Pix[i], want.Pix[i]) {
 			t.Fatalf("Minimum diverges from serial at sample %d", i)
 		}
 	}

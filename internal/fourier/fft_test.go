@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"decamouflage/internal/testutil"
 )
 
 const eps = 1e-9
@@ -303,7 +305,7 @@ func TestCenteredSpectrumOfConstantImage(t *testing.T) {
 	// A constant image has all its energy at DC: exactly one bright point
 	// at the center, everything else ~0.
 	cx, cy := w/2, h/2
-	if spec[cy*w+cx] != 1 {
+	if !testutil.BitEqual(spec[cy*w+cx], 1) {
 		t.Errorf("center = %v, want 1 (normalized max)", spec[cy*w+cx])
 	}
 	for y := 0; y < h; y++ {
@@ -353,7 +355,7 @@ func TestCenteredSpectrumAllZeros(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, v := range spec {
-		if v != 0 {
+		if !testutil.BitEqual(v, 0) {
 			t.Fatalf("zero image spectrum has energy: %v", v)
 		}
 	}

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"testing"
 	"testing/quick"
+
+	"decamouflage/internal/testutil"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -61,10 +63,10 @@ func TestValidateDetectsCorruption(t *testing.T) {
 func TestAtSetRoundTrip(t *testing.T) {
 	img := MustNew(5, 4, 3)
 	img.Set(2, 3, 1, 42.5)
-	if got := img.At(2, 3, 1); got != 42.5 {
+	if got := img.At(2, 3, 1); !testutil.BitEqual(got, 42.5) {
 		t.Errorf("At(2,3,1) = %v, want 42.5", got)
 	}
-	if got := img.At(2, 3, 0); got != 0 {
+	if got := img.At(2, 3, 0); !testutil.BitEqual(got, 0) {
 		t.Errorf("At(2,3,0) = %v, want 0", got)
 	}
 }
@@ -83,7 +85,7 @@ func TestAtClampedReplicatesBorder(t *testing.T) {
 		{-1, -1, 0}, {5, -2, 2}, {-3, 5, 6}, {9, 9, 8}, {1, 1, 4},
 	}
 	for _, tt := range tests {
-		if got := img.AtClamped(tt.x, tt.y, 0); got != tt.want {
+		if got := img.AtClamped(tt.x, tt.y, 0); !testutil.BitEqual(got, tt.want) {
 			t.Errorf("AtClamped(%d,%d) = %v, want %v", tt.x, tt.y, got, tt.want)
 		}
 	}
@@ -94,7 +96,7 @@ func TestCloneIsDeep(t *testing.T) {
 	img.Set(0, 0, 0, 7)
 	cp := img.Clone()
 	cp.Set(0, 0, 0, 9)
-	if img.At(0, 0, 0) != 7 {
+	if !testutil.BitEqual(img.At(0, 0, 0), 7) {
 		t.Error("Clone shares backing storage with original")
 	}
 }
@@ -104,12 +106,12 @@ func TestClampAndQuantize(t *testing.T) {
 	img.Pix[0] = -3.7
 	img.Pix[1] = 260.2
 	img.Clamp8()
-	if img.Pix[0] != 0 || img.Pix[1] != 255 {
+	if !testutil.BitEqual(img.Pix[0], 0) || !testutil.BitEqual(img.Pix[1], 255) {
 		t.Errorf("Clamp8 = %v, want [0 255]", img.Pix)
 	}
 	img.Pix[0] = 12.6
 	img.Quantize8()
-	if img.Pix[0] != 13 {
+	if !testutil.BitEqual(img.Pix[0], 13) {
 		t.Errorf("Quantize8(12.6) = %v, want 13", img.Pix[0])
 	}
 }
@@ -128,7 +130,7 @@ func TestGrayWeights(t *testing.T) {
 	// Grayscale input is cloned, not aliased.
 	g2 := g.Gray()
 	g2.Set(0, 0, 0, 0)
-	if g.At(0, 0, 0) == 0 {
+	if testutil.BitEqual(g.At(0, 0, 0), 0) {
 		t.Error("Gray() of gray image aliases its input")
 	}
 }
@@ -143,7 +145,7 @@ func TestChannelExtractAndSet(t *testing.T) {
 		t.Fatalf("Channel(2) error: %v", err)
 	}
 	for i := 0; i < 4; i++ {
-		if ch.Pix[i] != float64(i+1) {
+		if !testutil.BitEqual(ch.Pix[i], float64(i+1)) {
 			t.Fatalf("channel sample %d = %v, want %v", i, ch.Pix[i], i+1)
 		}
 	}
@@ -151,7 +153,7 @@ func TestChannelExtractAndSet(t *testing.T) {
 	if err := img.SetChannel(2, ch); err != nil {
 		t.Fatalf("SetChannel error: %v", err)
 	}
-	if img.Pix[3*3+2] != 8 {
+	if !testutil.BitEqual(img.Pix[3*3+2], 8) {
 		t.Errorf("SetChannel did not write back, got %v", img.Pix[3*3+2])
 	}
 	if _, err := img.Channel(3); err == nil {
@@ -172,14 +174,14 @@ func TestArithmetic(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Add error: %v", err)
 	}
-	if sum.Pix[0] != 11 || sum.Pix[1] != 22 {
+	if !testutil.BitEqual(sum.Pix[0], 11) || !testutil.BitEqual(sum.Pix[1], 22) {
 		t.Errorf("Add = %v", sum.Pix)
 	}
 	diff, err := a.Sub(b)
 	if err != nil {
 		t.Fatalf("Sub error: %v", err)
 	}
-	if diff.Pix[0] != 9 || diff.Pix[1] != 18 {
+	if !testutil.BitEqual(diff.Pix[0], 9) || !testutil.BitEqual(diff.Pix[1], 18) {
 		t.Errorf("Sub = %v", diff.Pix)
 	}
 	c := MustNew(3, 1, 1)
@@ -194,14 +196,14 @@ func TestArithmetic(t *testing.T) {
 func TestStatsHelpers(t *testing.T) {
 	img := MustNew(2, 2, 1)
 	copy(img.Pix, []float64{-1, 5, 3, 1})
-	if got := img.Mean(); got != 2 {
+	if got := img.Mean(); !testutil.BitEqual(got, 2) {
 		t.Errorf("Mean = %v, want 2", got)
 	}
 	lo, hi := img.MinMax()
-	if lo != -1 || hi != 5 {
+	if !testutil.BitEqual(lo, -1) || !testutil.BitEqual(hi, 5) {
 		t.Errorf("MinMax = %v,%v, want -1,5", lo, hi)
 	}
-	if got := img.AbsMax(); got != 5 {
+	if got := img.AbsMax(); !testutil.BitEqual(got, 5) {
 		t.Errorf("AbsMax = %v, want 5", got)
 	}
 	if img.HasNaN() {
@@ -273,7 +275,7 @@ func TestPNGSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("shape after round trip = %v, want %v", got, img)
 	}
 	for i := range img.Pix {
-		if got.Pix[i] != img.Pix[i] {
+		if !testutil.BitEqual(got.Pix[i], img.Pix[i]) {
 			t.Fatalf("pixel %d = %v, want %v", i, got.Pix[i], img.Pix[i])
 		}
 	}
@@ -413,7 +415,7 @@ func TestClampIdempotentProperty(t *testing.T) {
 		snapshot := append([]float64(nil), a.Pix...)
 		a.Clamp8()
 		for i, v := range a.Pix {
-			if v < 0 || v > 255 || v != snapshot[i] {
+			if v < 0 || v > 255 || !testutil.BitEqual(v, snapshot[i]) {
 				return false
 			}
 		}

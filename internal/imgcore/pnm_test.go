@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"decamouflage/internal/testutil"
 )
 
 func TestPNMRoundTripColor(t *testing.T) {
@@ -27,7 +29,7 @@ func TestPNMRoundTripColor(t *testing.T) {
 		t.Fatalf("shape %v", back)
 	}
 	for i := range img.Pix {
-		if back.Pix[i] != img.Pix[i] {
+		if !testutil.BitEqual(back.Pix[i], img.Pix[i]) {
 			t.Fatalf("sample %d = %v, want %v", i, back.Pix[i], img.Pix[i])
 		}
 	}
@@ -53,7 +55,7 @@ func TestPNMRoundTripGray(t *testing.T) {
 		t.Fatalf("channels = %d", back.C)
 	}
 	for i := range img.Pix {
-		if back.Pix[i] != img.Pix[i] {
+		if !testutil.BitEqual(back.Pix[i], img.Pix[i]) {
 			t.Fatalf("sample %d mismatch", i)
 		}
 	}
@@ -67,7 +69,7 @@ func TestPNMCommentsAndWhitespace(t *testing.T) {
 	}
 	want := []float64{0, 85, 170, 255}
 	for i := range want {
-		if img.Pix[i] != want[i] {
+		if !testutil.BitEqual(img.Pix[i], want[i]) {
 			t.Fatalf("sample %d = %v", i, img.Pix[i])
 		}
 	}
@@ -80,7 +82,7 @@ func TestPNM16Bit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if img.Pix[0] != 255 {
+	if !testutil.BitEqual(img.Pix[0], 255) {
 		t.Fatalf("16-bit max = %v", img.Pix[0])
 	}
 	// Half scale.
@@ -129,7 +131,7 @@ func TestPNMFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Mean() != 99 {
+	if !testutil.BitEqual(back.Mean(), 99) {
 		t.Fatalf("mean = %v", back.Mean())
 	}
 	if _, err := LoadPNM(filepath.Join(dir, "missing.ppm")); err == nil {

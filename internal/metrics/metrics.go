@@ -47,11 +47,14 @@ func MSE(a, b *imgcore.Image) (float64, error) {
 
 // PSNR returns the peak signal-to-noise ratio in decibels with L = 256
 // intensity levels (Eq. 9 in the paper). Identical images yield +Inf.
+//
+//declint:nan-ok shape validation runs in MSE; NaN samples propagate to the score
 func PSNR(a, b *imgcore.Image) (float64, error) {
 	mse, err := MSE(a, b)
 	if err != nil {
 		return 0, err
 	}
+	//declint:ignore floateq exact-zero MSE is the documented identical-images +Inf case
 	if mse == 0 {
 		return math.Inf(1), nil
 	}
@@ -93,6 +96,8 @@ func (o SSIMOptions) validate() error {
 // SSIM returns the mean structural similarity index between a and b using
 // the default parameters. Color images are scored on their luminance, the
 // standard convention.
+//
+//declint:nan-ok delegates to SSIMWith, whose checkPair validation runs first
 func SSIM(a, b *imgcore.Image) (float64, error) {
 	return SSIMWith(a, b, DefaultSSIM())
 }
@@ -106,6 +111,8 @@ func SSIM(a, b *imgcore.Image) (float64, error) {
 //	SSIM = ((2·μaμb + c1)(2·σab + c2)) / ((μa² + μb² + c1)(σa² + σb² + c2))
 //
 // and averaged over all pixel positions.
+//
+//declint:nan-ok shape validation runs in ssimWith; NaN samples propagate to the score
 func SSIMWith(a, b *imgcore.Image, opts SSIMOptions) (float64, error) {
 	return ssimWith(a, b, opts)
 }
@@ -194,6 +201,7 @@ func blurSeparable(src []float64, w, h int, kern []float64, popts ...parallel.Op
 	tmp := make([]float64, len(src))
 	// Horizontal: chunks own disjoint row bands of tmp.
 	rowOpts := append([]parallel.Option{parallel.Grain(grain)}, popts...)
+	//declint:ignore errdrop ctx is Background and the chunk fn never errors
 	_ = parallel.For(ctx, h, func(yLo, yHi int) error {
 		for y := yLo; y < yHi; y++ {
 			row := src[y*w : (y+1)*w]
@@ -219,6 +227,7 @@ func blurSeparable(src []float64, w, h int, kern []float64, popts ...parallel.Op
 	colOpts := append([]parallel.Option{
 		parallel.Grain(parallel.GrainForWidth(h*len(kern), minBlurWork)),
 	}, popts...)
+	//declint:ignore errdrop ctx is Background and the chunk fn never errors
 	_ = parallel.For(ctx, w, func(xLo, xHi int) error {
 		for x := xLo; x < xHi; x++ {
 			for y := 0; y < h; y++ {

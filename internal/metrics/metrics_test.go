@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/testutil"
 )
 
 func randImage(seed int64, w, h, c int) *imgcore.Image {
@@ -27,10 +28,10 @@ func TestMSEBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != 4 {
+	if !testutil.BitEqual(got, 4) {
 		t.Errorf("MSE = %v, want 4", got)
 	}
-	if got, _ := MSE(a, a); got != 0 {
+	if got, _ := MSE(a, a); !testutil.BitEqual(got, 0) {
 		t.Errorf("MSE(a,a) = %v, want 0", got)
 	}
 }
@@ -91,7 +92,7 @@ func TestPSNR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != 0 { // MSE = 255^2 -> PSNR = 0 dB
+	if !testutil.BitEqual(got, 0) { // MSE = 255^2 -> PSNR = 0 dB
 		t.Errorf("PSNR = %v, want 0", got)
 	}
 	same, err := PSNR(a, a)
@@ -234,7 +235,7 @@ func TestGaussianKernelNormalized(t *testing.T) {
 	}
 	// Symmetric, peaked at center.
 	for i := 0; i < 5; i++ {
-		if k[i] != k[10-i] {
+		if !testutil.BitEqual(k[i], k[10-i]) {
 			t.Errorf("kernel asymmetric at %d", i)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/parallel"
+	"decamouflage/internal/testutil"
 )
 
 func noisePair(t testing.TB, rng *rand.Rand, w, h, c int) (*imgcore.Image, *imgcore.Image) {
@@ -41,7 +42,7 @@ func TestSSIMSerialParallelEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%dx%dx%d workers=%d: %v", wh[0], wh[1], c, workers, err)
 				}
-				if got != want {
+				if !testutil.BitEqual(got, want) {
 					t.Fatalf("%dx%dx%d workers=%d: SSIM %v != serial %v",
 						wh[0], wh[1], c, workers, got, want)
 				}
@@ -64,7 +65,7 @@ func TestBlurSeparableSerialParallelEquivalence(t *testing.T) {
 		for _, workers := range []int{2, 6} {
 			got := blurSeparable(src, wh[0], wh[1], kern, parallel.Workers(workers), parallel.Grain(1))
 			for i := range want {
-				if got[i] != want[i] {
+				if !testutil.BitEqual(got[i], want[i]) {
 					t.Fatalf("%dx%d workers=%d: sample %d differs: %v vs %v",
 						wh[0], wh[1], workers, i, got[i], want[i])
 				}
@@ -86,7 +87,7 @@ func TestSSIMPublicAPIMatchesPinnedSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !testutil.BitEqual(got, want) {
 		t.Fatalf("SSIM = %v diverges from serial %v", got, want)
 	}
 }

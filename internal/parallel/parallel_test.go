@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"decamouflage/internal/testutil"
 )
 
 // coverage runs For and records how often each index was visited.
@@ -276,7 +278,7 @@ func TestForDeterministicSum(t *testing.T) {
 	for _, w := range []int{2, 5, 16} {
 		got := run(w)
 		for i := range got {
-			if got[i] != want[i] {
+			if !testutil.BitEqual(got[i], want[i]) {
 				t.Fatalf("Workers(%d): index %d differs: %v vs %v", w, i, got[i], want[i])
 			}
 		}

@@ -83,9 +83,11 @@ func (o Options) withDefaults() Options {
 	if o.MaxSweeps == 0 {
 		o.MaxSweeps = 100
 	}
+	//declint:ignore floateq zero is the unset-option sentinel, set only by literal omission
 	if o.Tol == 0 {
 		o.Tol = 1e-6
 	}
+	//declint:ignore floateq zero is the unset-option sentinel, set only by literal omission
 	if o.Relax == 0 {
 		o.Relax = 1
 	}
@@ -146,6 +148,7 @@ func SolvePOCS(p *Problem, x0 []float64, opts Options) (*Result, error) {
 		res.Sweeps = sweep
 		maxViol := 0.0
 		for i, c := range p.Constraints {
+			//declint:ignore floateq an exactly-zero row norm marks a vacuous constraint
 			if norms[i] == 0 {
 				continue
 			}

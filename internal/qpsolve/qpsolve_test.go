@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"decamouflage/internal/testutil"
 )
 
 func TestProblemValidate(t *testing.T) {
@@ -70,7 +72,7 @@ func TestSolvePOCSRespectsBox(t *testing.T) {
 	if res.Converged {
 		t.Error("converged on infeasible problem")
 	}
-	if res.X[0] != 255 {
+	if !testutil.BitEqual(res.X[0], 255) {
 		t.Errorf("x = %v, want clamped to 255", res.X[0])
 	}
 	if res.MaxViolation < 144 {
@@ -94,7 +96,7 @@ func TestSolvePOCSAlreadyFeasible(t *testing.T) {
 	if !res.Converged || res.Sweeps != 1 {
 		t.Errorf("feasible start: %+v", res)
 	}
-	if res.X[0] != 12 || res.X[1] != 99 {
+	if !testutil.BitEqual(res.X[0], 12) || !testutil.BitEqual(res.X[1], 99) {
 		t.Errorf("feasible start moved: %v", res.X)
 	}
 }
@@ -111,7 +113,7 @@ func TestSolvePOCSZeroWeightConstraintIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.X[0] != 1 {
+	if !testutil.BitEqual(res.X[0], 1) {
 		t.Errorf("zero-weight constraint moved x: %v", res.X)
 	}
 }
@@ -252,11 +254,11 @@ func TestProjGradSimpleProblem(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
-	if o.MaxSweeps != 100 || o.Tol != 1e-6 || o.Relax != 1 {
+	if o.MaxSweeps != 100 || !testutil.BitEqual(o.Tol, 1e-6) || !testutil.BitEqual(o.Relax, 1) {
 		t.Errorf("defaults = %+v", o)
 	}
 	o = Options{MaxSweeps: 5, Tol: 0.1, Relax: 1.5}.withDefaults()
-	if o.MaxSweeps != 5 || o.Tol != 0.1 || o.Relax != 1.5 {
+	if o.MaxSweeps != 5 || !testutil.BitEqual(o.Tol, 0.1) || !testutil.BitEqual(o.Relax, 1.5) {
 		t.Errorf("explicit options clobbered: %+v", o)
 	}
 }

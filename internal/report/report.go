@@ -130,6 +130,7 @@ func RenderHistogram(w io.Writer, title string, labelA string, a []float64, labe
 			hi = hiB
 		}
 	}
+	//declint:ignore floateq a degenerate range needs exact detection before padding
 	if lo == hi {
 		hi = lo + 1
 	}

@@ -130,6 +130,7 @@ func BuildCoeff(n, m int, opts Options) (*Coeff, error) {
 		var sum float64
 		for j := lo; j <= hi; j++ {
 			w := k.f((float64(j) - center) / filterScale)
+			//declint:ignore floateq exact-zero taps are dropped; any nonzero weight is kept bit-exactly
 			if w == 0 {
 				continue
 			}
@@ -142,6 +143,7 @@ func BuildCoeff(n, m int, opts Options) (*Coeff, error) {
 			acc[jj] += w
 			sum += w
 		}
+		//declint:ignore floateq only an exactly-zero weight sum is unnormalizable
 		if sum == 0 || len(acc) == 0 {
 			// Degenerate kernel placement; fall back to nearest tap.
 			jj := clampIndex(int(fastFloor(center+0.5)), n)
@@ -185,6 +187,7 @@ func clampIndex(j, n int) int {
 
 func fastFloor(x float64) float64 {
 	f := float64(int(x))
+	//declint:ignore floateq integer-valued floats compare exactly by IEEE-754 construction
 	if x < 0 && f != x {
 		f--
 	}
@@ -193,6 +196,7 @@ func fastFloor(x float64) float64 {
 
 func fastCeil(x float64) float64 {
 	f := float64(int(x))
+	//declint:ignore floateq integer-valued floats compare exactly by IEEE-754 construction
 	if x > 0 && f != x {
 		f++
 	}

@@ -3,6 +3,8 @@ package scaling
 import (
 	"math"
 	"testing"
+
+	"decamouflage/internal/testutil"
 )
 
 func TestCoordModeStrings(t *testing.T) {
@@ -60,7 +62,7 @@ func TestAlignCornersSingleOutput(t *testing.T) {
 	src := []float64{0, 0, 0, 42, 0, 0, 0}
 	dst := make([]float64, 1)
 	c.Apply(src, 1, dst, 1)
-	if dst[0] != 42 {
+	if !testutil.BitEqual(dst[0], 42) {
 		t.Errorf("single output = %v, want center sample 42", dst[0])
 	}
 }

@@ -133,6 +133,7 @@ func lanczosKernel(lobes float64) kernelFunc {
 	return kernelFunc{
 		support: lobes,
 		f: func(x float64) float64 {
+			//declint:ignore floateq sinc's removable singularity is exactly at zero
 			if x == 0 {
 				return 1
 			}

@@ -6,6 +6,7 @@ import (
 
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/parallel"
+	"decamouflage/internal/testutil"
 )
 
 func noiseImage(t testing.TB, rng *rand.Rand, w, h, c int) *imgcore.Image {
@@ -57,7 +58,7 @@ func TestResizeSerialParallelEquivalence(t *testing.T) {
 						t.Fatalf("%v %+v workers=%d: %v", alg, tc, workers, err)
 					}
 					for i := range want.Pix {
-						if got.Pix[i] != want.Pix[i] {
+						if !testutil.BitEqual(got.Pix[i], want.Pix[i]) {
 							t.Fatalf("%v %+v c=%d workers=%d: sample %d differs: %v vs %v",
 								alg, tc, c, workers, i, got.Pix[i], want.Pix[i])
 						}
@@ -91,7 +92,7 @@ func TestResizePublicAPIMatchesPinnedSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range want.Pix {
-		if got.Pix[i] != want.Pix[i] {
+		if !testutil.BitEqual(got.Pix[i], want.Pix[i]) {
 			t.Fatalf("Resize diverges from serial at sample %d", i)
 		}
 	}

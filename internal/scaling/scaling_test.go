@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/testutil"
 )
 
 func TestParseAlgorithm(t *testing.T) {
@@ -107,7 +108,7 @@ func TestNearestCoeffIsPermutationLike(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, row := range c.Rows {
-		if len(row.Idx) != 1 || row.W[0] != 1 {
+		if len(row.Idx) != 1 || !testutil.BitEqual(row.W[0], 1) {
 			t.Fatalf("row %d not a single unit tap: %+v", i, row)
 		}
 	}
@@ -134,7 +135,7 @@ func TestBilinearNoAntialiasIsSparse(t *testing.T) {
 	use := c.SourceUse()
 	unused := 0
 	for _, u := range use {
-		if u == 0 {
+		if testutil.BitEqual(u, 0) {
 			unused++
 		}
 	}
@@ -153,7 +154,7 @@ func TestBilinearAntialiasIsDense(t *testing.T) {
 	}
 	use := c.SourceUse()
 	for j, u := range use {
-		if u == 0 {
+		if testutil.BitEqual(u, 0) {
 			t.Fatalf("antialiased operator leaves source pixel %d unused", j)
 		}
 	}
@@ -166,7 +167,7 @@ func TestAreaCoversAllSources(t *testing.T) {
 	}
 	use := c.SourceUse()
 	for j, u := range use {
-		if u == 0 {
+		if testutil.BitEqual(u, 0) {
 			t.Fatalf("area operator leaves source pixel %d unused", j)
 		}
 	}
@@ -235,7 +236,7 @@ func TestApplyWithStride(t *testing.T) {
 	dst := make([]float64, 6)
 	c.Apply(src, 3, dst, 3)
 	// Nearest taps: floor(0.5*2)=1, floor(1.5*2)=3.
-	if dst[0] != 20 || dst[3] != 40 {
+	if !testutil.BitEqual(dst[0], 20) || !testutil.BitEqual(dst[3], 40) {
 		t.Errorf("strided apply = %v", dst)
 	}
 }
@@ -338,7 +339,7 @@ func TestScalerCachingAndFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range out1.Pix {
-		if out1.Pix[i] != want.Pix[i] {
+		if !testutil.BitEqual(out1.Pix[i], want.Pix[i]) {
 			t.Fatal("Scaler.Resize differs from Resize")
 		}
 	}

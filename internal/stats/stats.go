@@ -126,6 +126,7 @@ func FitNormal(xs []float64) (NormalFit, error) {
 
 // CDF evaluates the cumulative distribution function of the fitted normal.
 func (f NormalFit) CDF(x float64) float64 {
+	//declint:ignore floateq an exactly-zero std marks the degenerate point-mass fit
 	if f.Std == 0 {
 		if x < f.Mean {
 			return 0
@@ -141,6 +142,7 @@ func (f NormalFit) Quantile(q float64) (float64, error) {
 	if q <= 0 || q >= 1 || math.IsNaN(q) {
 		return 0, fmt.Errorf("stats: quantile %v out of range (0,1)", q)
 	}
+	//declint:ignore floateq an exactly-zero std marks the degenerate point-mass fit
 	if f.Std == 0 {
 		return f.Mean, nil
 	}
@@ -172,6 +174,7 @@ func OverlapCoefficient(a, b []float64, bins int) (float64, error) {
 	loA, hiA, _ := MinMax(a)
 	loB, hiB, _ := MinMax(b)
 	lo, hi := math.Min(loA, loB), math.Max(hiA, hiB)
+	//declint:ignore floateq a degenerate range needs exact detection before padding
 	if lo == hi {
 		return 1, nil // all mass in one point for both
 	}
@@ -228,6 +231,7 @@ func AutoHistogram(xs []float64, bins int) (*Histogram, error) {
 	if err != nil {
 		return nil, err
 	}
+	//declint:ignore floateq a degenerate range needs exact detection before padding
 	if lo == hi {
 		hi = lo + 1
 	}

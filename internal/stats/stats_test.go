@@ -6,6 +6,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"decamouflage/internal/testutil"
 )
 
 func TestMeanVarianceStd(t *testing.T) {
@@ -47,7 +49,7 @@ func TestMinMax(t *testing.T) {
 		t.Fatal("MinMax(nil) = nil error")
 	}
 	lo, hi, err := MinMax([]float64{3, -2, 7, 0})
-	if err != nil || lo != -2 || hi != 7 {
+	if err != nil || !testutil.BitEqual(lo, -2) || !testutil.BitEqual(hi, 7) {
 		t.Fatalf("MinMax = %v,%v,%v", lo, hi, err)
 	}
 }
@@ -78,11 +80,11 @@ func TestPercentile(t *testing.T) {
 	if _, err := Percentile(xs, 101); err == nil {
 		t.Error("Percentile(101) = nil error")
 	}
-	if got, err := Percentile([]float64{7}, 99); err != nil || got != 7 {
+	if got, err := Percentile([]float64{7}, 99); err != nil || !testutil.BitEqual(got, 7) {
 		t.Errorf("Percentile(single,99) = %v,%v", got, err)
 	}
 	med, err := Median(xs)
-	if err != nil || med != 3 {
+	if err != nil || !testutil.BitEqual(med, 3) {
 		t.Errorf("Median = %v,%v", med, err)
 	}
 }
@@ -156,14 +158,14 @@ func TestNormalFitDegenerate(t *testing.T) {
 	if err != nil {
 		t.Fatalf("FitNormal: %v", err)
 	}
-	if fit.Std != 0 {
+	if !testutil.BitEqual(fit.Std, 0) {
 		t.Fatalf("Std = %v, want 0", fit.Std)
 	}
-	if fit.CDF(3.9) != 0 || fit.CDF(4.1) != 1 {
+	if !testutil.BitEqual(fit.CDF(3.9), 0) || !testutil.BitEqual(fit.CDF(4.1), 1) {
 		t.Error("degenerate CDF not a step function")
 	}
 	q, err := fit.Quantile(0.3)
-	if err != nil || q != 4 {
+	if err != nil || !testutil.BitEqual(q, 4) {
 		t.Errorf("degenerate Quantile = %v,%v", q, err)
 	}
 }
@@ -189,7 +191,7 @@ func TestOverlapCoefficient(t *testing.T) {
 		t.Error("OverlapCoefficient(bins=0) = nil error")
 	}
 	ov, err = OverlapCoefficient([]float64{5, 5}, []float64{5}, 4)
-	if err != nil || ov != 1 {
+	if err != nil || !testutil.BitEqual(ov, 1) {
 		t.Errorf("point-mass overlap = %v,%v, want 1", ov, err)
 	}
 }
@@ -236,7 +238,7 @@ func TestAutoHistogram(t *testing.T) {
 	if err != nil {
 		t.Fatalf("AutoHistogram: %v", err)
 	}
-	if h.Lo != 1 || h.Hi != 3 {
+	if !testutil.BitEqual(h.Lo, 1) || !testutil.BitEqual(h.Hi, 3) {
 		t.Errorf("range = [%v,%v]", h.Lo, h.Hi)
 	}
 	h, err = AutoHistogram([]float64{7, 7}, 3)

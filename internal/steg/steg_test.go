@@ -7,6 +7,7 @@ import (
 	"decamouflage/internal/dataset"
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/scaling"
+	"decamouflage/internal/testutil"
 )
 
 func TestOptionsValidation(t *testing.T) {
@@ -48,7 +49,7 @@ func TestDefaultsApplied(t *testing.T) {
 	if small.MinArea != 4 {
 		t.Errorf("small-image MinArea = %d, want 4", small.MinArea)
 	}
-	if auto.BinarizeThreshold != 0.78 || auto.SmoothSigma != 1.0 {
+	if !testutil.BitEqual(auto.BinarizeThreshold, 0.78) || !testutil.BitEqual(auto.SmoothSigma, 1.0) {
 		t.Errorf("defaults = %+v", auto)
 	}
 }
@@ -205,7 +206,7 @@ func TestArtifactImages(t *testing.T) {
 	}
 	mask := a.MaskImage()
 	for _, v := range mask.Pix {
-		if v != 0 && v != 255 {
+		if !testutil.BitEqual(v, 0) && !testutil.BitEqual(v, 255) {
 			t.Fatalf("mask image sample %v not binary", v)
 		}
 	}

@@ -1,0 +1,51 @@
+// Package testutil holds the repository's intentional exact-equality
+// helpers. Decamouflage's serial-vs-parallel equivalence suites assert
+// BIT-IDENTICAL output — approximate comparison would mask the exact class
+// of nondeterminism they exist to catch — and expected-value tests pin
+// results computed by construction. Those are the only two places exact
+// float comparison is correct, so declint's floateq check allowlists this
+// package alone; every other ==/!= on floats is a finding. Routing an
+// assertion through these helpers is an explicit statement that exact
+// equality is the point.
+package testutil
+
+// BitEqual reports whether a and b are exactly equal. NaN compares unequal
+// to everything including itself, matching IEEE-754 ==; callers asserting
+// NaN propagation should compare math.IsNaN results instead.
+func BitEqual(a, b float64) bool { return a == b }
+
+// BitEqual32 is BitEqual for float32 operands.
+func BitEqual32(a, b float32) bool { return a == b }
+
+// BitEqualComplex reports exact equality of both parts.
+func BitEqualComplex(a, b complex128) bool { return a == b }
+
+// FirstDiff returns the index of the first pair of samples that are not
+// exactly equal, or -1 when the slices match element-wise. Slices of
+// different lengths differ at the first index past the shorter one.
+func FirstDiff(a, b []float64) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}
+
+// FirstDiffComplex is FirstDiff over complex128 slices.
+func FirstDiffComplex(a, b []complex128) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}

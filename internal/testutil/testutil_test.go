@@ -1,0 +1,58 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBitEqual(t *testing.T) {
+	if !BitEqual(1.5, 1.5) || BitEqual(1.5, 1.5000001) {
+		t.Fatal("BitEqual misjudges plain values")
+	}
+	if !BitEqual(0, math.Copysign(0, -1)) {
+		t.Fatal("BitEqual must follow IEEE ==: +0 equals -0")
+	}
+	if BitEqual(math.NaN(), math.NaN()) {
+		t.Fatal("BitEqual must follow IEEE ==: NaN != NaN")
+	}
+	if !BitEqual(math.Inf(1), math.Inf(1)) {
+		t.Fatal("equal infinities must compare equal")
+	}
+	if !BitEqual32(float32(0.1), float32(0.1)) || BitEqual32(1, 2) {
+		t.Fatal("BitEqual32 misjudges plain values")
+	}
+	if !BitEqualComplex(2+3i, 2+3i) || BitEqualComplex(2+3i, 2+3.0000001i) {
+		t.Fatal("BitEqualComplex misjudges plain values")
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	if i := FirstDiff([]float64{1, 2, 3}, []float64{1, 2, 3}); i != -1 {
+		t.Fatalf("identical slices: got %d, want -1", i)
+	}
+	if i := FirstDiff([]float64{1, 2, 3}, []float64{1, 9, 3}); i != 1 {
+		t.Fatalf("differing slices: got %d, want 1", i)
+	}
+	if i := FirstDiff([]float64{1, 2}, []float64{1, 2, 3}); i != 2 {
+		t.Fatalf("length mismatch: got %d, want 2", i)
+	}
+	if i := FirstDiff(nil, nil); i != -1 {
+		t.Fatalf("nil slices: got %d, want -1", i)
+	}
+	nan := math.NaN()
+	if i := FirstDiff([]float64{nan}, []float64{nan}); i != 0 {
+		t.Fatalf("NaN samples must differ under IEEE ==: got %d, want 0", i)
+	}
+}
+
+func TestFirstDiffComplex(t *testing.T) {
+	if i := FirstDiffComplex([]complex128{1 + 2i}, []complex128{1 + 2i}); i != -1 {
+		t.Fatalf("identical slices: got %d, want -1", i)
+	}
+	if i := FirstDiffComplex([]complex128{1 + 2i, 5}, []complex128{1 + 2i, 6}); i != 1 {
+		t.Fatalf("differing slices: got %d, want 1", i)
+	}
+	if i := FirstDiffComplex([]complex128{1}, nil); i != 0 {
+		t.Fatalf("length mismatch: got %d, want 0", i)
+	}
+}
