@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: decamouflage/internal/fourier
+cpu: Example CPU
+BenchmarkFFT2D256 	      50	   3301700 ns/op	 1048766 B/op	       6 allocs/op
+BenchmarkFFT1D256Planned-8  	  100000	      3805 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRankFilter256Serial/Window5 	      50	   9049049 ns/op
+BenchmarkThroughput 	     200	     52341 ns/op	 312.45 MB/s	    1024 B/op	       2 allocs/op
+PASS
+ok  	decamouflage/internal/fourier	5.1s
+--- FAIL: TestSomething
+Benchmarking note: this line is chatter, not a result
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(got), got)
+	}
+	want := []Result{
+		{Name: "BenchmarkFFT2D256", Iterations: 50, NsPerOp: 3301700, BytesPerOp: 1048766, AllocsPerOp: 6},
+		{Name: "BenchmarkFFT1D256Planned-8", Iterations: 100000, NsPerOp: 3805, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "BenchmarkRankFilter256Serial/Window5", Iterations: 50, NsPerOp: 9049049, BytesPerOp: -1, AllocsPerOp: -1},
+		{Name: "BenchmarkThroughput", Iterations: 200, NsPerOp: 52341, BytesPerOp: 1024, AllocsPerOp: 2, MBPerSec: 312.45},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseBenchBadValue(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX 10 oops ns/op\n")); err == nil {
+		t.Fatal("malformed ns/op value must be an error")
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok pkg 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d results from non-benchmark input", len(got))
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-in", in, "-out", out, "-date", "2026-08-05"}, strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Date != "2026-08-05" {
+		t.Fatalf("date %q", doc.Date)
+	}
+	if doc.GoVersion == "" {
+		t.Fatal("missing go_version")
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("artifact has %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(nil, strings.NewReader("PASS\n"), &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("empty benchmark input must exit nonzero")
+	}
+	if !strings.Contains(stderr.String(), "no benchmark lines") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+func TestRunStdinToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-date", "2026-08-05"}, strings.NewReader(sampleOutput), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var doc Document
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+}

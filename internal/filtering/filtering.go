@@ -22,19 +22,24 @@ var ErrBadWindow = errors.New("filtering: window size must be a positive odd-or-
 // Minimum applies a size×size minimum filter (grayscale erosion) to each
 // channel independently: every output sample is the smallest sample in its
 // window. The paper uses the 2×2 minimum filter to strip the embedded
-// target pixels out of attack images.
+// target pixels out of attack images. The implementation is the separable
+// van Herk–Gil–Werman sweep in fast.go — O(1) comparisons per sample —
+// whose output is bit-identical to the naive window scan for finite inputs.
 func Minimum(img *imgcore.Image, size int) (*imgcore.Image, error) {
-	return rankFilter(img, size, pickMin)
+	return minMaxFilter(img, size, false)
 }
 
-// Maximum applies a size×size maximum filter (grayscale dilation).
+// Maximum applies a size×size maximum filter (grayscale dilation). Like
+// Minimum, it runs the separable van Herk–Gil–Werman sweep.
 func Maximum(img *imgcore.Image, size int) (*imgcore.Image, error) {
-	return rankFilter(img, size, pickMax)
+	return minMaxFilter(img, size, true)
 }
 
-// Median applies a size×size median filter.
+// Median applies a size×size median filter via the per-row sliding sorted
+// window in fast.go, bit-identical to the naive collect-and-select for
+// finite inputs.
 func Median(img *imgcore.Image, size int) (*imgcore.Image, error) {
-	return rankFilter(img, size, pickMedian)
+	return medianFilter(img, size)
 }
 
 // Rank applies a size×size rank filter selecting the k-th smallest sample
@@ -82,11 +87,15 @@ func pickMedian(buf []float64) float64 {
 // which a filter sweep stays on the calling goroutine.
 const minFilterWork = 1 << 14
 
-// rankFilter runs a generic sliding-window reduction. Window anchoring
-// follows the OpenCV convention: for even sizes the anchor is the top-left
-// sample of the window (offsets [0, size)), for odd sizes the window is
-// centered (offsets [-size/2, size/2]). Rows are processed in parallel
-// bands; pick must therefore be a pure function of its buffer.
+// rankFilter runs a generic sliding-window reduction — the naive O(size²)
+// per-pixel reference the fast kernels in fast.go are pinned against, and
+// the implementation behind the generic Rank. Window anchoring follows the
+// OpenCV convention: for even sizes the anchor is the top-left sample of
+// the window (offsets [0, size)), for odd sizes the window is centered
+// (offsets [-size/2, size/2]). Rows are processed in parallel bands; pick
+// must therefore be a pure function of its buffer. The window buffer is
+// allocated once per band at its full size² length and refilled in place
+// across every pixel of the band, so the sweep itself never reallocates.
 func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64, popts ...parallel.Option) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
@@ -94,11 +103,7 @@ func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64, popt
 	if size < 2 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadWindow, size)
 	}
-	lo := 0
-	if size%2 == 1 {
-		lo = -(size / 2)
-	}
-	hi := lo + size - 1
+	lo, hi := windowOffsets(size)
 
 	out := img.Clone()
 	rowCost := img.W * img.C * size * size
@@ -106,14 +111,15 @@ func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64, popt
 		parallel.Grain(parallel.GrainForWidth(rowCost, minFilterWork)),
 	}, popts...)
 	err := parallel.For(context.Background(), img.H, func(yLo, yHi int) error {
-		buf := make([]float64, 0, size*size)
+		buf := make([]float64, size*size)
 		for y := yLo; y < yHi; y++ {
 			for x := 0; x < img.W; x++ {
 				for c := 0; c < img.C; c++ {
-					buf = buf[:0]
+					k := 0
 					for dy := lo; dy <= hi; dy++ {
 						for dx := lo; dx <= hi; dx++ {
-							buf = append(buf, img.AtClamped(x+dx, y+dy, c))
+							buf[k] = img.AtClamped(x+dx, y+dy, c)
+							k++
 						}
 					}
 					out.Set(x, y, c, pick(buf))
@@ -128,12 +134,22 @@ func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64, popt
 	return out, nil
 }
 
-// Box applies a size×size mean filter.
+// Box applies a size×size mean filter via the separable running-sum sweep
+// in fast.go. Its summation order differs from the naive window scan, so
+// outputs match the naive reference to tolerance rather than bit-exactly.
 func Box(img *imgcore.Image, size int) (*imgcore.Image, error) {
-	return box(img, size)
+	return boxFilter(img, size)
 }
 
+// box is the fast Box with parallel options threaded through for the
+// serial-vs-parallel equivalence tests.
 func box(img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
+	return boxFilter(img, size, popts...)
+}
+
+// boxNaive is the per-window reference mean filter the fast path is
+// tolerance-tested against.
+func boxNaive(img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadWindow, size)
 	}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/parallel"
@@ -129,32 +130,56 @@ func ssimWith(a, b *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (
 	if err := opts.validate(); err != nil {
 		return 0, err
 	}
-	ga, gb := a.Gray(), b.Gray()
-	w, h := ga.W, ga.H
+	w, h := a.W, a.H
+	gaPix, gaP := grayPix(a)
+	if gaP != nil {
+		defer putScratch(gaP)
+	}
+	gbPix, gbP := grayPix(b)
+	if gbP != nil {
+		defer putScratch(gbP)
+	}
 
-	kern := gaussianKernel(opts.WindowRadius, opts.Sigma)
+	kern := kernelFor(opts.WindowRadius, opts.Sigma)
 
-	muA := blurSeparable(ga.Pix, w, h, kern, popts...)
-	muB := blurSeparable(gb.Pix, w, h, kern, popts...)
-
+	// Every working buffer comes from the package scratch pool and is fully
+	// overwritten before it is read, so reuse across calls cannot leak state;
+	// the arithmetic and its order are unchanged from the allocating version,
+	// keeping results bit-identical call over call. The five blur passes
+	// share one pair of option slices (identical geometry).
+	rowOpts, colOpts := blurOpts(w, h, len(kern), popts)
 	n := w * h
-	aa := make([]float64, n)
-	bb := make([]float64, n)
-	ab := make([]float64, n)
+	muAp, muBp := getScratch(n), getScratch(n)
+	defer putScratch(muAp)
+	defer putScratch(muBp)
+	muA, muB := *muAp, *muBp
+	blurWith(muA, gaPix, w, h, kern, rowOpts, colOpts)
+	blurWith(muB, gbPix, w, h, kern, rowOpts, colOpts)
+
+	aap, bbp, abp := getScratch(n), getScratch(n), getScratch(n)
+	defer putScratch(aap)
+	defer putScratch(bbp)
+	defer putScratch(abp)
+	aa, bb, ab := *aap, *bbp, *abp
 	prodOpts := append([]parallel.Option{parallel.Grain(minBlurWork)}, popts...)
 	if err := parallel.For(context.Background(), n, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			aa[i] = ga.Pix[i] * ga.Pix[i]
-			bb[i] = gb.Pix[i] * gb.Pix[i]
-			ab[i] = ga.Pix[i] * gb.Pix[i]
+			aa[i] = gaPix[i] * gaPix[i]
+			bb[i] = gbPix[i] * gbPix[i]
+			ab[i] = gaPix[i] * gbPix[i]
 		}
 		return nil
 	}, prodOpts...); err != nil {
 		return 0, err
 	}
-	sAA := blurSeparable(aa, w, h, kern, popts...)
-	sBB := blurSeparable(bb, w, h, kern, popts...)
-	sAB := blurSeparable(ab, w, h, kern, popts...)
+	sAAp, sBBp, sABp := getScratch(n), getScratch(n), getScratch(n)
+	defer putScratch(sAAp)
+	defer putScratch(sBBp)
+	defer putScratch(sABp)
+	sAA, sBB, sAB := *sAAp, *sBBp, *sABp
+	blurWith(sAA, aa, w, h, kern, rowOpts, colOpts)
+	blurWith(sBB, bb, w, h, kern, rowOpts, colOpts)
+	blurWith(sAB, ab, w, h, kern, rowOpts, colOpts)
 
 	c1 := (opts.K1 * opts.L) * (opts.K1 * opts.L)
 	c2 := (opts.K2 * opts.L) * (opts.K2 * opts.L)
@@ -172,7 +197,9 @@ func ssimWith(a, b *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (
 	return sum / float64(n), nil
 }
 
-// gaussianKernel returns a normalized 1-D Gaussian of radius r.
+// gaussianKernel returns a normalized 1-D Gaussian of radius r. It always
+// builds fresh; the SSIM path uses kernelFor, which memoizes by (radius,
+// sigma).
 func gaussianKernel(r int, sigma float64) []float64 {
 	k := make([]float64, 2*r+1)
 	var sum float64
@@ -187,20 +214,150 @@ func gaussianKernel(r int, sigma float64) []float64 {
 	return k
 }
 
+// kernelCacheCap bounds the Gaussian window cache. SSIM sweeps use a
+// handful of (radius, sigma) pairs at most; each kernel is tiny, the cap
+// exists only to keep pathological parameter scans bounded.
+const kernelCacheCap = 16
+
+// kernelKey identifies a Gaussian window. Sigma is keyed by its bit
+// pattern: distinct representations never alias, and the key needs no
+// float comparison.
+type kernelKey struct {
+	r         int
+	sigmaBits uint64
+}
+
+type kernelEntry struct {
+	kern []float64
+	used uint64 // logical access clock, for LRU eviction
+}
+
+var kernelCache = struct {
+	sync.Mutex
+	m     map[kernelKey]*kernelEntry
+	clock uint64
+}{m: make(map[kernelKey]*kernelEntry)}
+
+// kernelFor returns the cached normalized Gaussian window for (r, sigma),
+// building it on first use. The returned slice is shared and must be
+// treated as immutable.
+func kernelFor(r int, sigma float64) []float64 {
+	key := kernelKey{r: r, sigmaBits: math.Float64bits(sigma)}
+	kernelCache.Lock()
+	if e, ok := kernelCache.m[key]; ok {
+		kernelCache.clock++
+		e.used = kernelCache.clock
+		k := e.kern
+		kernelCache.Unlock()
+		return k
+	}
+	kernelCache.Unlock()
+
+	k := gaussianKernel(r, sigma)
+
+	kernelCache.Lock()
+	defer kernelCache.Unlock()
+	if e, ok := kernelCache.m[key]; ok {
+		kernelCache.clock++
+		e.used = kernelCache.clock
+		return e.kern
+	}
+	kernelCache.clock++
+	kernelCache.m[key] = &kernelEntry{kern: k, used: kernelCache.clock}
+	if len(kernelCache.m) > kernelCacheCap {
+		var oldest kernelKey
+		var oldestUsed uint64 = math.MaxUint64
+		for kk, e := range kernelCache.m {
+			if e.used < oldestUsed {
+				oldest, oldestUsed = kk, e.used
+			}
+		}
+		delete(kernelCache.m, oldest)
+	}
+	return k
+}
+
+// grayPix returns the luminance samples of img using the same BT.601
+// weights as imgcore's Gray. Single-channel inputs are returned as a
+// read-only view of img.Pix with a nil pool pointer; multi-channel inputs
+// are converted into a pooled buffer the caller must release with
+// putScratch.
+func grayPix(img *imgcore.Image) ([]float64, *[]float64) {
+	if img.C == 1 {
+		return img.Pix, nil
+	}
+	n := img.W * img.H
+	bp := getScratch(n)
+	buf := *bp
+	for i := 0; i < n; i++ {
+		r := img.Pix[i*3]
+		g := img.Pix[i*3+1]
+		b := img.Pix[i*3+2]
+		buf[i] = 0.299*r + 0.587*g + 0.114*b
+	}
+	return buf, bp
+}
+
+// scratchPool recycles the float64 working buffers of ssimWith and
+// blurInto. Buffers are not zeroed on reuse: every consumer fully
+// overwrites its buffer before reading it.
+var scratchPool = sync.Pool{New: func() any { return &[]float64{} }}
+
+func getScratch(n int) *[]float64 {
+	bp := scratchPool.Get().(*[]float64)
+	b := *bp
+	if cap(b) < n {
+		b = make([]float64, n)
+	}
+	*bp = b[:n]
+	return bp
+}
+
+func putScratch(bp *[]float64) { scratchPool.Put(bp) }
+
 // minBlurWork is the per-chunk grain (in kernel-weighted samples) below
 // which a blur pass stays on the calling goroutine.
 const minBlurWork = 1 << 14
 
 // blurSeparable convolves a single-channel image with a separable kernel
-// using replicate border handling. Each pass runs in parallel bands over
-// disjoint output rows/columns.
+// using replicate border handling, returning a fresh slice. It is a thin
+// wrapper over blurInto for callers that want an owned result.
 func blurSeparable(src []float64, w, h int, kern []float64, popts ...parallel.Option) []float64 {
+	dst := make([]float64, len(src))
+	blurInto(dst, src, w, h, kern, popts...)
+	return dst
+}
+
+// blurInto is blurSeparable writing into a caller-provided destination
+// (len(dst) == len(src) == w*h), drawing its intermediate row-pass buffer
+// from the scratch pool.
+func blurInto(dst, src []float64, w, h int, kern []float64, popts ...parallel.Option) {
+	rowOpts, colOpts := blurOpts(w, h, len(kern), popts)
+	blurWith(dst, src, w, h, kern, rowOpts, colOpts)
+}
+
+// blurOpts assembles the per-pass parallel options for a w×h blur with the
+// given kernel length. Hoisted out of blurWith so ssimWith can build them
+// once and share them across its five same-geometry blur passes.
+func blurOpts(w, h, klen int, popts []parallel.Option) (rowOpts, colOpts []parallel.Option) {
+	rowOpts = append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(w*klen, minBlurWork)),
+	}, popts...)
+	colOpts = append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(h*klen, minBlurWork)),
+	}, popts...)
+	return rowOpts, colOpts
+}
+
+// blurWith runs the separable convolution with caller-assembled options.
+// Each pass runs in parallel bands over disjoint output rows/columns.
+func blurWith(dst, src []float64, w, h int, kern []float64, rowOpts, colOpts []parallel.Option) {
 	r := (len(kern) - 1) / 2
 	ctx := context.Background()
-	grain := parallel.GrainForWidth(w*len(kern), minBlurWork)
-	tmp := make([]float64, len(src))
+	tmpP := getScratch(len(src))
+	defer putScratch(tmpP)
+	tmp := *tmpP
 	// Horizontal: chunks own disjoint row bands of tmp.
-	rowOpts := append([]parallel.Option{parallel.Grain(grain)}, popts...)
 	//declint:ignore errdrop ctx is Background and the chunk fn never errors
 	_ = parallel.For(ctx, h, func(yLo, yHi int) error {
 		for y := yLo; y < yHi; y++ {
@@ -223,10 +380,6 @@ func blurSeparable(src []float64, w, h int, kern []float64, popts ...parallel.Op
 		return nil
 	}, rowOpts...)
 	// Vertical: chunks own disjoint column bands of dst, reading all of tmp.
-	dst := make([]float64, len(src))
-	colOpts := append([]parallel.Option{
-		parallel.Grain(parallel.GrainForWidth(h*len(kern), minBlurWork)),
-	}, popts...)
 	//declint:ignore errdrop ctx is Background and the chunk fn never errors
 	_ = parallel.For(ctx, w, func(xLo, xHi int) error {
 		for x := xLo; x < xHi; x++ {
@@ -246,5 +399,4 @@ func blurSeparable(src []float64, w, h int, kern []float64, popts ...parallel.Op
 		}
 		return nil
 	}, colOpts...)
-	return dst
 }

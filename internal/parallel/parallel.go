@@ -32,14 +32,30 @@ type config struct {
 	grain   int
 }
 
-// Option configures one For or Do call.
-type Option func(*config)
+// Option configures one For or Do call. Options are plain values (not
+// closures) so that assembling and applying them never heap-allocates —
+// For/Do sit on per-row hot paths where a per-call allocation is
+// measurable.
+type Option struct {
+	workers    int
+	setWorkers bool
+	grain      int
+}
+
+func (o Option) apply(c *config) {
+	if o.setWorkers {
+		c.workers = o.workers
+	}
+	if o.grain > 0 {
+		c.grain = o.grain
+	}
+}
 
 // Workers pins the worker count. n <= 0 restores the default (GOMAXPROCS).
 // A positive n is honoured exactly, even above GOMAXPROCS, so tests can
 // exercise the concurrent path on single-core machines.
 func Workers(n int) Option {
-	return func(c *config) { c.workers = n }
+	return Option{workers: n, setWorkers: true}
 }
 
 // Grain sets the minimum number of consecutive indices handed to fn per
@@ -47,11 +63,10 @@ func Workers(n int) Option {
 // on n and the grain, never on the worker count. Calls whose whole range
 // fits in one chunk run serially on the calling goroutine.
 func Grain(n int) Option {
-	return func(c *config) {
-		if n > 0 {
-			c.grain = n
-		}
+	if n <= 0 {
+		return Option{}
 	}
+	return Option{grain: n}
 }
 
 // DefaultWorkers returns the worker count used when no Workers option is
@@ -88,7 +103,7 @@ func GrainForWidth(rowCost, minWork int) int {
 func For(ctx context.Context, n int, fn func(lo, hi int) error, opts ...Option) error {
 	cfg := config{grain: 1}
 	for _, o := range opts {
-		o(&cfg)
+		o.apply(&cfg)
 	}
 	if n <= 0 {
 		return ctx.Err()

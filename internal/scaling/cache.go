@@ -1,0 +1,102 @@
+package scaling
+
+import (
+	"math"
+	"sync"
+)
+
+// coeffCacheCap bounds the global coefficient cache. Detection pipelines
+// touch a handful of geometries (model input sizes × experiment image
+// sizes × a few algorithms), each coefficient matrix is O(m·taps) — 128
+// entries cover every sweep in cmd/experiments while keeping worst-case
+// memory small.
+const coeffCacheCap = 128
+
+// coeffKey identifies a coefficient operator up to output equality:
+// lengths plus every Options field that affects the weights. Coord 0 is
+// normalized to HalfPixel so the zero-value Options and the explicit
+// default share an entry.
+type coeffKey struct {
+	n, m      int
+	algorithm Algorithm
+	antialias bool
+	coord     CoordMode
+}
+
+type coeffEntry struct {
+	coeff *Coeff
+	used  uint64 // logical access clock, for LRU eviction
+}
+
+var coeffCache = struct {
+	sync.Mutex
+	m     map[coeffKey]*coeffEntry
+	clock uint64
+}{m: make(map[coeffKey]*coeffEntry)}
+
+// CoeffFor returns the cached coefficient operator for resampling length n
+// to length m under opts, building and caching it on first use. The
+// returned *Coeff is shared: callers must treat it as immutable (every
+// consumer in this repository only reads Rows/Idx/W). The cache holds at
+// most coeffCacheCap entries and evicts the least recently used; evicted
+// operators remain valid for callers still holding them.
+func CoeffFor(n, m int, opts Options) (*Coeff, error) {
+	key := coeffKey{n: n, m: m, algorithm: opts.Algorithm, antialias: opts.Antialias, coord: opts.Coord}
+	if key.coord == 0 {
+		key.coord = HalfPixel
+	}
+	coeffCache.Lock()
+	if e, ok := coeffCache.m[key]; ok {
+		coeffCache.clock++
+		e.used = coeffCache.clock
+		c := e.coeff
+		coeffCache.Unlock()
+		return c, nil
+	}
+	coeffCache.Unlock()
+
+	// Build outside the lock: construction is the expensive part, and
+	// holding the lock across it would serialize unrelated geometries.
+	c, err := BuildCoeff(n, m, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	coeffCache.Lock()
+	defer coeffCache.Unlock()
+	if e, ok := coeffCache.m[key]; ok {
+		// Lost the build race; keep the incumbent so all callers share one
+		// instance.
+		coeffCache.clock++
+		e.used = coeffCache.clock
+		return e.coeff, nil
+	}
+	coeffCache.clock++
+	coeffCache.m[key] = &coeffEntry{coeff: c, used: coeffCache.clock}
+	if len(coeffCache.m) > coeffCacheCap {
+		var oldest coeffKey
+		var oldestUsed uint64 = math.MaxUint64
+		for k, e := range coeffCache.m {
+			if e.used < oldestUsed {
+				oldest, oldestUsed = k, e.used
+			}
+		}
+		delete(coeffCache.m, oldest)
+	}
+	return c, nil
+}
+
+// coeffCacheLen reports the current cache population (for tests).
+func coeffCacheLen() int {
+	coeffCache.Lock()
+	defer coeffCache.Unlock()
+	return len(coeffCache.m)
+}
+
+// resetCoeffCache empties the cache (for tests).
+func resetCoeffCache() {
+	coeffCache.Lock()
+	defer coeffCache.Unlock()
+	coeffCache.m = make(map[coeffKey]*coeffEntry)
+	coeffCache.clock = 0
+}

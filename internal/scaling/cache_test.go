@@ -1,0 +1,192 @@
+package scaling
+
+import (
+	"context"
+	"testing"
+
+	"decamouflage/internal/parallel"
+	"decamouflage/internal/testutil"
+)
+
+// TestCoeffForMatchesBuildCoeff: the cached operator must be structurally
+// identical (indices and bit-exact weights) to a fresh build for every
+// algorithm, direction, and coordinate mode.
+func TestCoeffForMatchesBuildCoeff(t *testing.T) {
+	resetCoeffCache()
+	defer resetCoeffCache()
+	algs := []Algorithm{Nearest, Bilinear, Bicubic, Lanczos, Area}
+	dims := [][2]int{{64, 16}, {16, 64}, {17, 5}, {1, 7}, {9, 9}}
+	for _, alg := range algs {
+		for _, nm := range dims {
+			for _, coord := range []CoordMode{0, HalfPixel, AlignCorners, Asymmetric} {
+				opts := Options{Algorithm: alg, Coord: coord}
+				want, err := BuildCoeff(nm[0], nm[1], opts)
+				if err != nil {
+					t.Fatalf("%v %v n=%d m=%d: %v", alg, coord, nm[0], nm[1], err)
+				}
+				got, err := CoeffFor(nm[0], nm[1], opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertCoeffEqual(t, got, want)
+			}
+		}
+	}
+}
+
+func assertCoeffEqual(t *testing.T, got, want *Coeff) {
+	t.Helper()
+	if got.N != want.N || got.M != want.M || len(got.Rows) != len(want.Rows) {
+		t.Fatalf("shape mismatch: got %dx%d/%d rows, want %dx%d/%d rows",
+			got.N, got.M, len(got.Rows), want.N, want.M, len(want.Rows))
+	}
+	for i := range want.Rows {
+		gr, wr := got.Rows[i], want.Rows[i]
+		if len(gr.Idx) != len(wr.Idx) {
+			t.Fatalf("row %d: tap count %d vs %d", i, len(gr.Idx), len(wr.Idx))
+		}
+		for k := range wr.Idx {
+			if gr.Idx[k] != wr.Idx[k] {
+				t.Fatalf("row %d tap %d: index %d vs %d", i, k, gr.Idx[k], wr.Idx[k])
+			}
+			if !testutil.BitEqual(gr.W[k], wr.W[k]) {
+				t.Fatalf("row %d tap %d: weight %v vs %v", i, k, gr.W[k], wr.W[k])
+			}
+		}
+	}
+}
+
+// TestCoeffForSharingAndKeying: repeat requests must return the identical
+// instance; any change to a weight-affecting option must miss; Coord 0 and
+// HalfPixel must share an entry.
+func TestCoeffForSharingAndKeying(t *testing.T) {
+	resetCoeffCache()
+	defer resetCoeffCache()
+	base := Options{Algorithm: Bilinear}
+	a, err := CoeffFor(64, 16, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CoeffFor(64, 16, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("repeat CoeffFor returned a distinct instance (cache miss)")
+	}
+	hp, err := CoeffFor(64, 16, Options{Algorithm: Bilinear, Coord: HalfPixel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp != a {
+		t.Fatal("Coord 0 and HalfPixel must share one cache entry")
+	}
+	distinct := []Options{
+		{Algorithm: Bicubic},
+		{Algorithm: Bilinear, Antialias: true},
+		{Algorithm: Bilinear, Coord: AlignCorners},
+		{Algorithm: Bilinear, Coord: Asymmetric},
+	}
+	for _, opts := range distinct {
+		c, err := CoeffFor(64, 16, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == a {
+			t.Fatalf("options %+v aliased the base cache entry", opts)
+		}
+	}
+	if swapped, err := CoeffFor(16, 64, base); err != nil {
+		t.Fatal(err)
+	} else if swapped == a {
+		t.Fatal("swapped dimensions aliased the base cache entry")
+	}
+}
+
+// TestCoeffForErrors: invalid requests must fail without poisoning the
+// cache.
+func TestCoeffForErrors(t *testing.T) {
+	resetCoeffCache()
+	defer resetCoeffCache()
+	if _, err := CoeffFor(0, 4, Options{Algorithm: Bilinear}); err == nil {
+		t.Fatal("CoeffFor accepted n=0")
+	}
+	if _, err := CoeffFor(4, 4, Options{Algorithm: Bilinear, Coord: CoordMode(99)}); err == nil {
+		t.Fatal("CoeffFor accepted unknown coordinate mode")
+	}
+	if got := coeffCacheLen(); got != 0 {
+		t.Fatalf("failed builds left %d cache entries", got)
+	}
+}
+
+// TestCoeffCacheBounded: flooding with distinct geometries must never grow
+// the cache past its cap, and a refetched (possibly evicted) entry must
+// still match a fresh build.
+func TestCoeffCacheBounded(t *testing.T) {
+	resetCoeffCache()
+	defer resetCoeffCache()
+	for n := 2; n < 2+2*coeffCacheCap; n++ {
+		if _, err := CoeffFor(n, 7, Options{Algorithm: Bilinear}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := coeffCacheLen(); got > coeffCacheCap {
+		t.Fatalf("cache grew to %d entries, cap is %d", got, coeffCacheCap)
+	}
+	want, err := BuildCoeff(2, 7, Options{Algorithm: Bilinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CoeffFor(2, 7, Options{Algorithm: Bilinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCoeffEqual(t, got, want)
+}
+
+// TestCoeffForConcurrent exercises concurrent lookups and builds through
+// the repository's parallel substrate; under -race this checks the
+// build-outside-lock path.
+func TestCoeffForConcurrent(t *testing.T) {
+	resetCoeffCache()
+	defer resetCoeffCache()
+	dims := [][2]int{{64, 16}, {16, 64}, {17, 5}, {33, 9}, {9, 33}, {100, 10}}
+	err := parallel.For(context.Background(), 6*len(dims), func(lo, hi int) error {
+		for job := lo; job < hi; job++ {
+			nm := dims[job%len(dims)]
+			c, err := CoeffFor(nm[0], nm[1], Options{Algorithm: Bicubic})
+			if err != nil {
+				return err
+			}
+			if c.N != nm[0] || c.M != nm[1] {
+				t.Errorf("got %dx%d operator for request %dx%d", c.N, c.M, nm[0], nm[1])
+			}
+		}
+		return nil
+	}, parallel.Workers(8), parallel.Grain(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkBuildCoeff64to16 times a fresh coefficient build — the cost
+// CoeffFor amortizes away.
+func BenchmarkBuildCoeff64to16(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildCoeff(64, 16, Options{Algorithm: Bicubic}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoeffFor64to16 times the steady-state cache hit.
+func BenchmarkCoeffFor64to16(b *testing.B) {
+	resetCoeffCache()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CoeffFor(64, 16, Options{Algorithm: Bicubic}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

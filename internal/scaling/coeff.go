@@ -20,6 +20,9 @@ type Row struct {
 // length N onto a destination of length M: dst[i] = Σ_k Rows[i].W[k] *
 // src[Rows[i].Idx[k]]. Rows are weight-normalized to sum to 1, so constant
 // signals are preserved exactly.
+//
+// A Coeff is immutable after construction. Instances returned by CoeffFor
+// are shared across callers — read Rows/Idx/W freely, never write them.
 type Coeff struct {
 	N, M int
 	Rows []Row
@@ -92,7 +95,9 @@ func (o Options) srcCenter(i, n, m int, scale float64) (float64, error) {
 }
 
 // BuildCoeff constructs the 1-D coefficient operator for resampling a
-// signal of length n to length m using the given options.
+// signal of length n to length m using the given options. It always builds
+// fresh; hot paths should prefer CoeffFor, which memoizes the result in
+// the bounded package cache.
 //
 // Source coordinates follow the half-pixel-center convention used by
 // OpenCV: the source position of destination sample i is

@@ -26,16 +26,18 @@ type Scaler struct {
 	vert  *Coeff // h -> dstH
 }
 
-// NewScaler prepares a scaler from (srcW×srcH) to (dstW×dstH).
+// NewScaler prepares a scaler from (srcW×srcH) to (dstW×dstH). The
+// coefficient matrices come from the shared cache (CoeffFor), so scalers
+// of the same geometry share them.
 func NewScaler(srcW, srcH, dstW, dstH int, opts Options) (*Scaler, error) {
 	if srcW <= 0 || srcH <= 0 || dstW <= 0 || dstH <= 0 {
 		return nil, fmt.Errorf("%w: src %dx%d dst %dx%d", ErrBadSize, srcW, srcH, dstW, dstH)
 	}
-	h, err := BuildCoeff(srcW, dstW, opts)
+	h, err := CoeffFor(srcW, dstW, opts)
 	if err != nil {
 		return nil, err
 	}
-	v, err := BuildCoeff(srcH, dstH, opts)
+	v, err := CoeffFor(srcH, dstH, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -60,8 +62,9 @@ func (s *Scaler) Horizontal() *Coeff { return s.horiz }
 func (s *Scaler) Vertical() *Coeff { return s.vert }
 
 // Resize resamples img to the scaler's destination geometry. Inputs whose
-// size differs from the prepared source geometry are handled by building
-// fresh coefficients for that size.
+// size differs from the prepared source geometry are handled through the
+// shared coefficient cache, so even the fallback path pays the build cost
+// only once per geometry.
 func (s *Scaler) Resize(img *imgcore.Image) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
@@ -69,14 +72,14 @@ func (s *Scaler) Resize(img *imgcore.Image) (*imgcore.Image, error) {
 	horiz, vert := s.horiz, s.vert
 	if img.W != s.srcW {
 		var err error
-		horiz, err = BuildCoeff(img.W, s.dstW, s.opts)
+		horiz, err = CoeffFor(img.W, s.dstW, s.opts)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if img.H != s.srcH {
 		var err error
-		vert, err = BuildCoeff(img.H, s.dstH, s.opts)
+		vert, err = CoeffFor(img.H, s.dstH, s.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -84,17 +87,18 @@ func (s *Scaler) Resize(img *imgcore.Image) (*imgcore.Image, error) {
 	return resizeWith(img, horiz, vert)
 }
 
-// Resize resamples img to (dstW×dstH) with the given options, building the
-// coefficient matrices on the fly. Use a Scaler for repeated resizes.
+// Resize resamples img to (dstW×dstH) with the given options, drawing the
+// coefficient matrices from the shared cache (CoeffFor); repeated resizes
+// of the same geometry cost only the matrix application.
 func Resize(img *imgcore.Image, dstW, dstH int, opts Options) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
-	horiz, err := BuildCoeff(img.W, dstW, opts)
+	horiz, err := CoeffFor(img.W, dstW, opts)
 	if err != nil {
 		return nil, err
 	}
-	vert, err := BuildCoeff(img.H, dstH, opts)
+	vert, err := CoeffFor(img.H, dstH, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,83 @@ func TestFirstDiff(t *testing.T) {
 	}
 }
 
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0, 0, 0) {
+		t.Fatal("exact match must pass with zero tolerances")
+	}
+	if !ApproxEqual(100, 100.4, 0.005, 0) {
+		t.Fatal("relative tolerance must admit proportional error")
+	}
+	if ApproxEqual(100, 101, 0.005, 0) {
+		t.Fatal("relative tolerance must reject error beyond relTol·max")
+	}
+	if !ApproxEqual(1e-300, -1e-300, 0.5, 1e-250) {
+		t.Fatal("absolute tolerance must handle near-zero comparisons")
+	}
+	if ApproxEqual(1e-300, 1.0, 0.5, 1e-250) {
+		t.Fatal("absolute tolerance must not mask real divergence")
+	}
+	if !ApproxEqual(math.Inf(1), math.Inf(1), 0, 0) {
+		t.Fatal("equal infinities must compare equal")
+	}
+	if ApproxEqual(math.Inf(1), math.Inf(-1), 1, 1) {
+		t.Fatal("opposite infinities must not compare equal")
+	}
+	if ApproxEqual(math.Inf(1), math.MaxFloat64, 0.1, 0) {
+		t.Fatal("infinity vs finite must not compare equal")
+	}
+	if !ApproxEqual(math.NaN(), math.NaN(), 0, 0) {
+		t.Fatal("two NaNs must compare equal (both paths failed identically)")
+	}
+	if ApproxEqual(math.NaN(), 1.0, 1, 1) || ApproxEqual(1.0, math.NaN(), 1, 1) {
+		t.Fatal("NaN vs number must not compare equal")
+	}
+	if !ApproxEqual(0, math.Copysign(0, -1), 0, 0) {
+		t.Fatal("+0 and -0 must compare equal")
+	}
+}
+
+func TestULPDiff(t *testing.T) {
+	if d := ULPDiff(1.5, 1.5); d != 0 {
+		t.Fatalf("identical values: got %d ULPs, want 0", d)
+	}
+	if d := ULPDiff(1.0, math.Nextafter(1.0, 2.0)); d != 1 {
+		t.Fatalf("adjacent floats: got %d ULPs, want 1", d)
+	}
+	if d := ULPDiff(math.Nextafter(1.0, 2.0), 1.0); d != 1 {
+		t.Fatalf("ULPDiff must be symmetric: got %d, want 1", d)
+	}
+	// Three steps up from 1.0.
+	v := 1.0
+	for i := 0; i < 3; i++ {
+		v = math.Nextafter(v, 2.0)
+	}
+	if d := ULPDiff(1.0, v); d != 3 {
+		t.Fatalf("three steps: got %d ULPs, want 3", d)
+	}
+	if d := ULPDiff(0, math.Copysign(0, -1)); d != 0 {
+		t.Fatalf("+0 vs -0: got %d ULPs, want 0 (same point on the ULP line)", d)
+	}
+	// Straddling zero: smallest positive and negative subnormals are two
+	// ULPs apart (one step each side of the collapsed zero).
+	tiny := math.Float64frombits(1)
+	if d := ULPDiff(tiny, -tiny); d != 2 {
+		t.Fatalf("subnormal straddle: got %d ULPs, want 2", d)
+	}
+	if d := ULPDiff(0, tiny); d != 1 {
+		t.Fatalf("zero to smallest subnormal: got %d ULPs, want 1", d)
+	}
+	if d := ULPDiff(math.NaN(), 1.0); d != math.MaxUint64 {
+		t.Fatalf("NaN operand: got %d, want MaxUint64", d)
+	}
+	if d := ULPDiff(math.NaN(), math.NaN()); d != math.MaxUint64 {
+		t.Fatalf("NaN operands: got %d, want MaxUint64", d)
+	}
+	if d := ULPDiff(math.MaxFloat64, math.Inf(1)); d != 1 {
+		t.Fatalf("MaxFloat64 to +Inf: got %d ULPs, want 1 (Inf is the next bit pattern)", d)
+	}
+}
+
 func TestFirstDiffComplex(t *testing.T) {
 	if i := FirstDiffComplex([]complex128{1 + 2i}, []complex128{1 + 2i}); i != -1 {
 		t.Fatalf("identical slices: got %d, want -1", i)
