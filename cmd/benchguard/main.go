@@ -1,0 +1,93 @@
+// Command benchguard compares one benchmark between two `go test -bench`
+// output files and fails when the candidate's median ns/op exceeds the
+// baseline's by more than a budget. CI uses it to enforce the
+// observability layer's compiled-in-but-disabled overhead: the baseline
+// is BenchmarkDetectDisabled built with -tags noobs (the instrumentation
+// compiled out entirely), the candidate is the default build with
+// recording switched off, and the budget is 2%.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=Detect -count=5 -tags noobs ./internal/detect/ > noobs.txt
+//	go test -run=NONE -bench=Detect -count=5 ./internal/detect/ > default.txt
+//	go run ./cmd/benchguard -baseline noobs.txt -candidate default.txt \
+//	    -bench BenchmarkDetectDisabled -max-overhead-pct 2
+//
+// Exit codes: 0 within budget, 1 over budget, 2 on usage/parse errors or
+// when the named benchmark is missing from either file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"decamouflage/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseFlag := fs.String("baseline", "", "bench output file with the baseline numbers")
+	candFlag := fs.String("candidate", "", "bench output file with the candidate numbers")
+	benchFlag := fs.String("bench", "", "benchmark name to compare (GOMAXPROCS suffix ignored)")
+	maxFlag := fs.Float64("max-overhead-pct", 2, "largest tolerated median-ns/op increase, in percent")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchguard -baseline a.txt -candidate b.txt -bench BenchmarkName [-max-overhead-pct 2]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseFlag == "" || *candFlag == "" || *benchFlag == "" {
+		fs.Usage()
+		return 2
+	}
+	base, n0, err := medianFromFile(*baseFlag, *benchFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: baseline: %v\n", err)
+		return 2
+	}
+	cand, n1, err := medianFromFile(*candFlag, *benchFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: candidate: %v\n", err)
+		return 2
+	}
+	overhead := (cand/base - 1) * 100
+	fmt.Fprintf(stdout,
+		"benchguard: %s baseline %.0f ns/op (n=%d), candidate %.0f ns/op (n=%d), overhead %+.2f%% (budget %.2f%%)\n",
+		*benchFlag, base, n0, cand, n1, overhead, *maxFlag)
+	if overhead > *maxFlag {
+		fmt.Fprintf(stderr, "benchguard: FAIL: overhead %+.2f%% exceeds %.2f%%\n", overhead, *maxFlag)
+		return 1
+	}
+	return 0
+}
+
+// medianFromFile parses one bench output file and returns the median
+// ns/op of the named benchmark plus how many repetitions backed it.
+func medianFromFile(path, bench string) (float64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	results, err := benchfmt.Parse(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	sel := benchfmt.Select(results, bench)
+	if len(sel) == 0 {
+		return 0, 0, fmt.Errorf("no results for %q in %s", bench, path)
+	}
+	med := benchfmt.MedianNsPerOp(sel)
+	if !(med > 0) {
+		return 0, 0, fmt.Errorf("median ns/op for %q in %s is not positive", bench, path)
+	}
+	return med, len(sel), nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baselineTxt = `goos: linux
+BenchmarkDetectDisabled-8   100   1000000 ns/op
+BenchmarkDetectDisabled-8   100   1020000 ns/op
+BenchmarkDetectDisabled-8   100    980000 ns/op
+BenchmarkDetectInstrumented-8   100   1200000 ns/op
+PASS
+`
+
+func TestWithinBudget(t *testing.T) {
+	base := writeBench(t, "base.txt", baselineTxt)
+	cand := writeBench(t, "cand.txt", `BenchmarkDetectDisabled-8   100   1010000 ns/op
+BenchmarkDetectDisabled-8   100   1015000 ns/op
+BenchmarkDetectDisabled-8   100   1005000 ns/op
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-baseline", base, "-candidate", cand,
+		"-bench", "BenchmarkDetectDisabled"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	// medians: 1000000 vs 1010000 -> +1.00%
+	if !strings.Contains(stdout.String(), "overhead +1.00%") {
+		t.Errorf("report: %s", stdout.String())
+	}
+}
+
+func TestOverBudget(t *testing.T) {
+	base := writeBench(t, "base.txt", baselineTxt)
+	cand := writeBench(t, "cand.txt", "BenchmarkDetectDisabled-8   100   1100000 ns/op\n")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-baseline", base, "-candidate", cand,
+		"-bench", "BenchmarkDetectDisabled", "-max-overhead-pct", "2"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "exceeds") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+func TestFasterCandidatePasses(t *testing.T) {
+	base := writeBench(t, "base.txt", baselineTxt)
+	cand := writeBench(t, "cand.txt", "BenchmarkDetectDisabled-8   100   900000 ns/op\n")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-baseline", base, "-candidate", cand,
+		"-bench", "BenchmarkDetectDisabled"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "overhead -10.00%") {
+		t.Errorf("report: %s", stdout.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	base := writeBench(t, "base.txt", baselineTxt)
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("missing flags: exit %d, want 2", code)
+	}
+	// Named benchmark absent from the candidate file.
+	cand := writeBench(t, "cand.txt", "BenchmarkOther-8  10  5 ns/op\n")
+	code := run([]string{"-baseline", base, "-candidate", cand,
+		"-bench", "BenchmarkDetectDisabled"}, &stdout, &stderr)
+	if code != 2 {
+		t.Errorf("absent benchmark: exit %d, want 2", code)
+	}
+	// Unreadable baseline.
+	code = run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.txt"),
+		"-candidate", cand, "-bench", "BenchmarkDetectDisabled"}, &stdout, &stderr)
+	if code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

@@ -14,45 +14,16 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
+
+	"decamouflage/internal/benchfmt"
 )
-
-// Result is one parsed benchmark line.
-type Result struct {
-	// Name is the benchmark name as printed, including any -N GOMAXPROCS
-	// suffix and sub-benchmark path.
-	Name string `json:"name"`
-	// Iterations is b.N for the measured run.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp is the reported ns/op.
-	NsPerOp float64 `json:"ns_op"`
-	// BytesPerOp is the reported B/op; -1 when the benchmark did not run
-	// with -benchmem or ReportAllocs.
-	BytesPerOp int64 `json:"bytes_op"`
-	// AllocsPerOp is the reported allocs/op; -1 when absent.
-	AllocsPerOp int64 `json:"allocs_op"`
-	// MBPerSec is the reported MB/s; 0 when absent.
-	MBPerSec float64 `json:"mb_s,omitempty"`
-}
-
-// Document is the emitted JSON artifact.
-type Document struct {
-	// Date is the run date (CI passes the commit date; defaults to today).
-	Date string `json:"date"`
-	// GoVersion is the toolchain that produced the numbers.
-	GoVersion string `json:"go_version"`
-	// Benchmarks holds the parsed results in input order.
-	Benchmarks []Result `json:"benchmarks"`
-}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
@@ -81,7 +52,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		defer f.Close()
 		in = f
 	}
-	results, err := parseBench(in)
+	results, err := benchfmt.Parse(in)
 	if err != nil {
 		fmt.Fprintf(stderr, "benchjson: %v\n", err)
 		return 2
@@ -94,7 +65,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if date == "" {
 		date = time.Now().UTC().Format("2006-01-02")
 	}
-	doc := Document{Date: date, GoVersion: runtime.Version(), Benchmarks: results}
+	doc := benchfmt.Document{Date: date, GoVersion: runtime.Version(), Benchmarks: results}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(stderr, "benchjson: %v\n", err)
@@ -113,57 +84,4 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
-}
-
-// parseBench extracts benchmark result lines from go test output. A result
-// line is `Benchmark<Name>[-P] <N> <value> <unit> [<value> <unit>]...`;
-// everything else is skipped. Unknown units are ignored so future testing
-// package additions do not break parsing.
-func parseBench(r io.Reader) ([]Result, error) {
-	var out []Result
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		// The second field must be the iteration count; "Benchmarking..."
-		// chatter and similar noise fails this and is skipped.
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		res := Result{Name: fields[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
-		ok := false
-		for i := 2; i+1 < len(fields); i += 2 {
-			val, unit := fields[i], fields[i+1]
-			switch unit {
-			case "ns/op":
-				if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
-					return nil, fmt.Errorf("line %q: bad ns/op %q", sc.Text(), val)
-				}
-				ok = true
-			case "B/op":
-				if res.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
-					return nil, fmt.Errorf("line %q: bad B/op %q", sc.Text(), val)
-				}
-			case "allocs/op":
-				if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
-					return nil, fmt.Errorf("line %q: bad allocs/op %q", sc.Text(), val)
-				}
-			case "MB/s":
-				if res.MBPerSec, err = strconv.ParseFloat(val, 64); err != nil {
-					return nil, fmt.Errorf("line %q: bad MB/s %q", sc.Text(), val)
-				}
-			}
-		}
-		if ok {
-			out = append(out, res)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"decamouflage/internal/benchfmt"
 )
 
 const sampleOutput = `goos: linux
@@ -22,43 +24,6 @@ ok  	decamouflage/internal/fourier	5.1s
 --- FAIL: TestSomething
 Benchmarking note: this line is chatter, not a result
 `
-
-func TestParseBench(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sampleOutput))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 4 {
-		t.Fatalf("parsed %d results, want 4: %+v", len(got), got)
-	}
-	want := []Result{
-		{Name: "BenchmarkFFT2D256", Iterations: 50, NsPerOp: 3301700, BytesPerOp: 1048766, AllocsPerOp: 6},
-		{Name: "BenchmarkFFT1D256Planned-8", Iterations: 100000, NsPerOp: 3805, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "BenchmarkRankFilter256Serial/Window5", Iterations: 50, NsPerOp: 9049049, BytesPerOp: -1, AllocsPerOp: -1},
-		{Name: "BenchmarkThroughput", Iterations: 200, NsPerOp: 52341, BytesPerOp: 1024, AllocsPerOp: 2, MBPerSec: 312.45},
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("result %d: got %+v, want %+v", i, got[i], want[i])
-		}
-	}
-}
-
-func TestParseBenchBadValue(t *testing.T) {
-	if _, err := parseBench(strings.NewReader("BenchmarkX 10 oops ns/op\n")); err == nil {
-		t.Fatal("malformed ns/op value must be an error")
-	}
-}
-
-func TestParseBenchEmpty(t *testing.T) {
-	got, err := parseBench(strings.NewReader("PASS\nok pkg 1s\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 0 {
-		t.Fatalf("parsed %d results from non-benchmark input", len(got))
-	}
-}
 
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
@@ -76,7 +41,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var doc Document
+	var doc benchfmt.Document
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
@@ -108,7 +73,7 @@ func TestRunStdinToStdout(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
-	var doc Document
+	var doc benchfmt.Document
 	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
 		t.Fatalf("stdout is not valid JSON: %v", err)
 	}

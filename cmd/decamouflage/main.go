@@ -3,13 +3,17 @@
 //
 // The steganalysis method (CSP) runs with no calibration; the scaling and
 // filtering methods join the ensemble when a calibration file (produced by
-// cmd/calibrate) is supplied.
+// cmd/calibrate) is supplied. Alternatively -system loads a full
+// SystemConfig (cmd/calibrate -system), which also carries persisted
+// observability settings; individual obs flags override the config.
 //
 // Usage:
 //
 //	decamouflage -dst 224x224 image.png ...
 //	decamouflage -dst 224x224 -calibration cal.json -alg bilinear image.png
 //	decamouflage -dst 32x32 -dir ./uploads -json
+//	decamouflage -dst 32x32 -calibration cal.json -v -metrics-out=- image.png
+//	decamouflage -system sys.json -httpdebug localhost:6060 -dir ./uploads
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"decamouflage/internal/cliutil"
 	"decamouflage/internal/detect"
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/obs"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
 )
@@ -47,17 +52,31 @@ type result struct {
 	// model-input geometry ("WxH"), present only for flagged images whose
 	// spectrum shows measurable replicas.
 	TargetEstimate string `json:"target_estimate,omitempty"`
+
+	// verdict and thresholds feed the -v report; they stay out of the
+	// JSON output.
+	verdict    *detect.EnsembleVerdict
+	thresholds map[string]detect.Threshold
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("decamouflage", flag.ContinueOnError)
 	var (
 		dst      = fs.String("dst", "224x224", "model input geometry WxH (the protected scaler's output)")
 		alg      = fs.String("alg", "bilinear", "scaling algorithm used by the protected pipeline")
 		calPath  = fs.String("calibration", "", "calibration JSON from cmd/calibrate (enables scaling+filtering methods)")
+		sysPath  = fs.String("system", "", "system config JSON from cmd/calibrate -system (replaces -dst/-alg/-calibration)")
 		dir      = fs.String("dir", "", "scan every PNG/JPEG in a directory")
 		asJSON   = fs.Bool("json", false, "emit JSON lines")
 		strictly = fs.Bool("strict", false, "exit nonzero when any attack is detected")
+
+		verbose    = fs.Bool("v", false, "print per-method scores, thresholds and the stage timeline")
+		traceFlag  = fs.Bool("trace", false, "print the span timeline of every image")
+		metricsOut = fs.String("metrics-out", "", `dump metrics on exit to this file ("-" for stdout)`)
+		metricsFmt = fs.String("metrics-format", "", "metrics dump format: json (default) or prom")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		httpDebug  = fs.String("httpdebug", "", "serve /healthz, /metrics and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,12 +109,51 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var sysCfg *detect.SystemConfig
+	if *sysPath != "" {
+		data, err := os.ReadFile(*sysPath)
+		if err != nil {
+			return err
+		}
+		sysCfg, err = detect.UnmarshalSystemConfig(data)
+		if err != nil {
+			return err
+		}
+	}
+
 	var cal *detect.Calibration
-	if *calPath != "" {
+	if *calPath != "" && sysCfg == nil {
 		cal, err = cliutil.LoadCalibration(*calPath)
 		if err != nil {
 			return err
 		}
+	}
+
+	// Observability: the persisted config is the base, flags win.
+	settings := obsSettings(sysCfg, *metricsOut, *metricsFmt, *cpuProfile, *memProfile, *httpDebug)
+	sess, err := settings.Apply()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintln(os.Stderr, "decamouflage: debug server on http://"+addr)
+	}
+
+	// With -system the ensemble is fixed; otherwise it is rebuilt per
+	// image because the scaling coefficients depend on the input geometry.
+	var sysEns *detect.Ensemble
+	var sysThs map[string]detect.Threshold
+	if sysCfg != nil {
+		sysEns, err = detect.BuildSystem(sysCfg)
+		if err != nil {
+			return err
+		}
+		sysThs = systemThresholds(sysCfg)
 	}
 
 	ctx := context.Background()
@@ -105,7 +163,20 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := classify(ctx, img, dstW, dstH, algorithm, cal)
+		ens, ths, detail := sysEns, sysThs, ""
+		if ens == nil {
+			ens, ths, detail, err = buildEnsemble(img, dstW, dstH, algorithm, cal)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p, err)
+			}
+		}
+		ictx := ctx
+		var tr *obs.Trace
+		if *verbose || *traceFlag {
+			ictx, tr = obs.WithTrace(ctx, "classify "+filepath.Base(p))
+		}
+		res, err := classify(ictx, img, ens, ths, detail)
+		tr.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", p, err)
 		}
@@ -131,6 +202,16 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%-6s %s (votes %d/%d, CSP=%.0f%s)\n",
 				label, p, res.Votes, res.Methods, res.CSP, extra)
 		}
+		if *verbose {
+			if err := printVerbose(out, res); err != nil {
+				return err
+			}
+		}
+		if tr != nil {
+			if err := tr.Render(out); err != nil {
+				return err
+			}
+		}
 	}
 	if *strictly && attacks > 0 {
 		return fmt.Errorf("%d attack image(s) detected", attacks)
@@ -138,57 +219,109 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// classify builds the richest detector set the configuration allows and
-// majority-votes.
-func classify(ctx context.Context, img *imgcore.Image, dstW, dstH int, alg scaling.Algorithm, cal *detect.Calibration) (*result, error) {
+// obsSettings merges the CLI observability flags over the system config's
+// persisted settings; any flag given on the command line wins.
+func obsSettings(cfg *detect.SystemConfig, metricsOut, metricsFmt, cpu, mem, debug string) obs.Settings {
+	var s obs.Settings
+	if cfg != nil && cfg.Obs != nil {
+		s = *cfg.Obs
+	}
+	if metricsOut != "" {
+		s.MetricsOut = metricsOut
+	}
+	if metricsFmt != "" {
+		s.MetricsFormat = metricsFmt
+	}
+	if cpu != "" {
+		s.CPUProfile = cpu
+	}
+	if mem != "" {
+		s.MemProfile = mem
+	}
+	if debug != "" {
+		s.DebugAddr = debug
+	}
+	return s
+}
+
+// systemThresholds returns the config's decision boundaries keyed by
+// method, filling in the paper's fixed CSP rule when unconfigured.
+func systemThresholds(cfg *detect.SystemConfig) map[string]detect.Threshold {
+	ths := make(map[string]detect.Threshold, len(cfg.Thresholds)+1)
+	for name, th := range cfg.Thresholds {
+		ths[name] = th
+	}
+	if _, ok := ths["steganalysis/CSP"]; !ok {
+		ths["steganalysis/CSP"] = detect.DefaultCSPThreshold()
+	}
+	return ths
+}
+
+// buildEnsemble assembles the richest detector set the flag-level
+// configuration allows for one image's geometry.
+func buildEnsemble(img *imgcore.Image, dstW, dstH int, alg scaling.Algorithm, cal *detect.Calibration) (*detect.Ensemble, map[string]detect.Threshold, string, error) {
 	var detectors []*detect.Detector
+	ths := make(map[string]detect.Threshold)
 	detail := ""
 
-	stegDet, err := detect.NewDetector(detect.NewStegScorer(steg.Options{}), detect.DefaultCSPThreshold())
+	stegTh := detect.DefaultCSPThreshold()
+	stegDet, err := detect.NewDetector(detect.NewStegScorer(steg.Options{}), stegTh)
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
 	detectors = append(detectors, stegDet)
+	ths["steganalysis/CSP"] = stegTh
 
 	if cal != nil {
 		scaler, err := scaling.NewScaler(img.W, img.H, dstW, dstH, scaling.Options{Algorithm: alg})
 		if err != nil {
-			return nil, err
+			return nil, nil, "", err
 		}
 		if th, ok := cal.Get("scaling/MSE"); ok {
 			sc, err := detect.NewScalingScorer(scaler, detect.MSE)
 			if err != nil {
-				return nil, err
+				return nil, nil, "", err
 			}
 			d, err := detect.NewDetector(sc, th)
 			if err != nil {
-				return nil, err
+				return nil, nil, "", err
 			}
 			detectors = append(detectors, d)
+			ths["scaling/MSE"] = th
 		}
 		if th, ok := cal.Get("filtering/SSIM"); ok {
 			fc, err := detect.NewFilteringScorer(2, detect.SSIM)
 			if err != nil {
-				return nil, err
+				return nil, nil, "", err
 			}
 			d, err := detect.NewDetector(fc, th)
 			if err != nil {
-				return nil, err
+				return nil, nil, "", err
 			}
 			detectors = append(detectors, d)
+			ths["filtering/SSIM"] = th
 		}
 	} else {
 		detail = ", steganalysis only"
 	}
 	ens, err := detect.NewEnsemble(detectors...)
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
+	return ens, ths, detail, nil
+}
+
+// classify majority-votes the ensemble over one image and, for flagged
+// images, estimates the attacker's target geometry.
+func classify(ctx context.Context, img *imgcore.Image, ens *detect.Ensemble, ths map[string]detect.Threshold, detail string) (*result, error) {
 	v, err := ens.Detect(ctx, img)
 	if err != nil {
 		return nil, err
 	}
-	res := &result{Attack: v.Attack, Votes: v.Votes, Methods: len(v.Verdicts), Detail: detail}
+	res := &result{
+		Attack: v.Attack, Votes: v.Votes, Methods: len(v.Verdicts),
+		Detail: detail, verdict: v, thresholds: ths,
+	}
 	for _, verdict := range v.Verdicts {
 		if verdict.Method == "steganalysis/CSP" {
 			res.CSP = verdict.Score
@@ -200,4 +333,36 @@ func classify(ctx context.Context, img *imgcore.Image, dstW, dstH int, alg scali
 		}
 	}
 	return res, nil
+}
+
+// printVerbose writes the per-method breakdown: score, calibrated
+// threshold, and each method's decision.
+func printVerbose(out io.Writer, res *result) error {
+	for _, vd := range res.verdict.Verdicts {
+		line := fmt.Sprintf("  %-20s score %-14.6g", vd.Method, vd.Score)
+		if th, ok := res.thresholds[vd.Method]; ok {
+			line += fmt.Sprintf(" threshold %s %-12.6g", dirSymbol(th.Direction), th.Value)
+		}
+		cls := "benign"
+		if vd.Attack {
+			cls = "attack"
+		}
+		if _, err := fmt.Fprintln(out, line+" -> "+cls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dirSymbol renders a threshold direction as the comparison the detector
+// applies to the score.
+func dirSymbol(d detect.Direction) string {
+	switch d {
+	case detect.Above:
+		return ">="
+	case detect.Below:
+		return "<="
+	default:
+		return "?"
+	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"decamouflage/internal/cliutil"
 	"decamouflage/internal/dataset"
 	"decamouflage/internal/detect"
+	"decamouflage/internal/obs"
 	"decamouflage/internal/scaling"
 )
 
@@ -153,5 +155,157 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-dir", "/nonexistent-dir-xyz"}, &out); err == nil {
 		t.Error("missing dir accepted")
+	}
+}
+
+// requireObs skips the test when the binary was built with -tags noobs,
+// and leaves recording disabled so run()'s settings decide.
+func requireObs(t *testing.T) {
+	t.Helper()
+	obs.Enable()
+	enabled := obs.Enabled()
+	obs.Disable()
+	if !enabled {
+		t.Skip("observability compiled out (noobs)")
+	}
+	t.Cleanup(obs.Disable)
+}
+
+func TestRunVerboseAndMetrics(t *testing.T) {
+	requireObs(t)
+	benign, _, cal, dir := writeFixtures(t)
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var out strings.Builder
+	err := run([]string{"-dst", "24x24", "-calibration", cal, "-v",
+		"-metrics-out", metricsPath, benign}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Per-method breakdown with thresholds and decisions.
+	for _, want := range []string{
+		"scaling/MSE", "filtering/SSIM", "steganalysis/CSP",
+		"threshold >=", "threshold <=", "-> benign",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("verbose output missing %q:\n%s", want, got)
+		}
+	}
+	// Stage timeline below the breakdown.
+	for _, want := range []string{"classify benign.png", "ensemble.detect", "downscale", "minfilter", "csp"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("timeline missing %q:\n%s", want, got)
+		}
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fourier.plan.misses", "scaling.coeff.misses", "scaling.coeff.hits",
+		"detect.ensemble.seconds", "parallel.for.calls",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestRunTraceOnly(t *testing.T) {
+	requireObs(t)
+	benign, _, _, _ := writeFixtures(t)
+	var out strings.Builder
+	if err := run([]string{"-dst", "24x24", "-trace", benign}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "classify benign.png") || !strings.Contains(got, "steganalysis/CSP") {
+		t.Errorf("trace output missing timeline:\n%s", got)
+	}
+	if strings.Contains(got, "threshold >=") {
+		t.Errorf("-trace alone printed the verbose breakdown:\n%s", got)
+	}
+}
+
+// TestRunSystemConfig pins the -system path: the persisted config both
+// builds the ensemble and activates its embedded observability settings.
+func TestRunSystemConfig(t *testing.T) {
+	requireObs(t)
+	benign, atk, calPath, dir := writeFixtures(t)
+	cal, err := cliutil.LoadCalibration(calPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sth, _ := cal.Get("scaling/MSE")
+	fth, _ := cal.Get("filtering/SSIM")
+	metricsPath := filepath.Join(dir, "sys_metrics.json")
+	cfg := &detect.SystemConfig{
+		DstW: 24, DstH: 24, Algorithm: "bilinear",
+		Thresholds: map[string]detect.Threshold{
+			"scaling/MSE":    sth,
+			"filtering/SSIM": fth,
+		},
+		Obs: &obs.Settings{MetricsOut: metricsPath},
+	}
+	data, err := detect.MarshalSystemConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysPath := filepath.Join(dir, "sys.json")
+	if err := os.WriteFile(sysPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-system", sysPath, "-v", benign, atk}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "votes") || !strings.Contains(got, "scaling/MSE") {
+		t.Errorf("system run output:\n%s", got)
+	}
+	// The config's MetricsOut took effect with no metrics flag given.
+	dump, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), "scaling.coeff.misses") {
+		t.Errorf("metrics dump from config settings missing cache stats:\n%s", dump)
+	}
+	if err := run([]string{"-system", filepath.Join(dir, "nope.json"), benign}, &out); err == nil {
+		t.Error("missing system config accepted")
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	requireObs(t)
+	benign, _, _, dir := writeFixtures(t)
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var out strings.Builder
+	err := run([]string{"-dst", "24x24", "-cpuprofile", cpu, "-memprofile", mem, benign}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunBadMetricsFormat pins that a dump failure at session close
+// surfaces as the command's error.
+func TestRunBadMetricsFormat(t *testing.T) {
+	requireObs(t)
+	benign, _, _, dir := writeFixtures(t)
+	var out strings.Builder
+	err := run([]string{"-dst", "24x24",
+		"-metrics-out", filepath.Join(dir, "m.txt"), "-metrics-format", "bogus", benign}, &out)
+	if err == nil || !strings.Contains(err.Error(), "metrics format") {
+		t.Errorf("bad metrics format error = %v", err)
 	}
 }

@@ -7,6 +7,8 @@
 //	experiments                          # run everything at default scale
 //	experiments -run T2,T8 -n 1000       # paper-scale specific experiments
 //	experiments -csv out/csv -artifacts out/art
+//	experiments -run T2 -metrics-out results/metrics_t2.json
+//	experiments -cpuprofile cpu.out -httpdebug localhost:6060
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"decamouflage/internal/cliutil"
 	"decamouflage/internal/experiments"
+	"decamouflage/internal/obs"
 	"decamouflage/internal/scaling"
 )
 
@@ -30,7 +33,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		list      = fs.Bool("list", false, "list experiment IDs and exit")
@@ -43,6 +46,12 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "corpus seed")
 		csvDir    = fs.String("csv", "", "directory for CSV series (figures)")
 		artifacts = fs.String("artifacts", "", "directory for PNG artifacts")
+
+		metricsOut = fs.String("metrics-out", "", `dump per-experiment metrics on exit to this file ("-" for stdout)`)
+		metricsFmt = fs.String("metrics-format", "", "metrics dump format: json (default) or prom")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		httpDebug  = fs.String("httpdebug", "", "serve /healthz, /metrics and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +74,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	settings := obs.Settings{
+		MetricsOut:    *metricsOut,
+		MetricsFormat: *metricsFmt,
+		CPUProfile:    *cpuProfile,
+		MemProfile:    *memProfile,
+		DebugAddr:     *httpDebug,
+	}
+	sess, err := settings.Apply()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if addr := sess.DebugAddr(); addr != "" {
+		fmt.Fprintln(os.Stderr, "experiments: debug server on http://"+addr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

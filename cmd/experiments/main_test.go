@@ -1,7 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"decamouflage/internal/obs"
 )
 
 func TestRunList(t *testing.T) {
@@ -36,5 +41,47 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-run", "NOPE", "-n", "2"}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunMetricsDump pins the end-of-run metrics dump: per-experiment
+// latency histograms and the kernel caches' counters land in the file.
+func TestRunMetricsDump(t *testing.T) {
+	obs.Enable()
+	enabled := obs.Enabled()
+	obs.Disable()
+	if !enabled {
+		t.Skip("observability compiled out (noobs)")
+	}
+	t.Cleanup(obs.Disable)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	err := run([]string{"-run", "T1", "-n", "4", "-src", "32x32", "-dst", "8x8",
+		"-metrics-out", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"experiments.T1.seconds", "scaling.coeff.misses"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestRunBadMetricsFormat(t *testing.T) {
+	obs.Enable()
+	enabled := obs.Enabled()
+	obs.Disable()
+	if !enabled {
+		t.Skip("observability compiled out (noobs)")
+	}
+	t.Cleanup(obs.Disable)
+	err := run([]string{"-run", "T1", "-n", "4", "-src", "32x32", "-dst", "8x8",
+		"-metrics-out", filepath.Join(t.TempDir(), "m.txt"), "-metrics-format", "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "metrics format") {
+		t.Errorf("bad metrics format error = %v", err)
 	}
 }

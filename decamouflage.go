@@ -39,6 +39,7 @@ import (
 	"decamouflage/internal/attack"
 	"decamouflage/internal/detect"
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/obs"
 	"decamouflage/internal/parallel"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
@@ -222,6 +223,9 @@ func DetectBatch(ctx context.Context, e *Ensemble, imgs []*Image) ([]*EnsembleVe
 	if e == nil {
 		return nil, fmt.Errorf("decamouflage: nil ensemble")
 	}
+	ctx, st := obs.StartStage(ctx, "detect.batch", obs.H("detect.batch.seconds"))
+	defer st.End()
+	obs.C("detect.batch.images").Add(int64(len(imgs)))
 	out := make([]*EnsembleVerdict, len(imgs))
 	err := parallel.For(ctx, len(imgs), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {

@@ -18,6 +18,8 @@
 //	naninput     exported tensor-accepting functions in metrics/steg/detect
 //	             must guard NaN/Inf or carry a //declint:nan-ok audit marker
 //	errdrop      no `_ =` discards of error-returning calls in non-test code
+//	obsonly      no runtime/pprof, net/http/pprof, or expvar imports outside
+//	             internal/obs and the cmd/ entry points
 //
 // Intentional violations are annotated in place:
 //
@@ -69,6 +71,12 @@ type Config struct {
 	TensorTypes []string
 	// GuardFuncs are callee names accepted as NaN/Inf guards.
 	GuardFuncs []string
+	// ObsPkg is the one library package allowed to import the profiling
+	// and metrics-exposition machinery directly.
+	ObsPkg string
+	// ObsOnlyImports are the import paths restricted to ObsPkg and the
+	// cmd/ entry points.
+	ObsOnlyImports []string
 }
 
 // DefaultConfig returns the configuration declint runs with on this module.
@@ -85,6 +93,10 @@ func DefaultConfig() Config {
 		TensorTypes:      []string{"internal/imgcore.Image"},
 		GuardFuncs: []string{
 			"Validate", "checkPair", "HasNaN", "IsNaN", "IsInf", "Finite",
+		},
+		ObsPkg: "internal/obs",
+		ObsOnlyImports: []string{
+			"runtime/pprof", "net/http/pprof", "expvar",
 		},
 	}
 }
@@ -104,6 +116,7 @@ var registry = []check{
 	{"floateq", "exact ==/!= on float operands", checkFloatEq},
 	{"naninput", "exported tensor functions without NaN/Inf guard or nan-ok marker", checkNaNInput},
 	{"errdrop", "_ = discards of error-returning calls", checkErrDrop},
+	{"obsonly", "profiling/exposition imports outside internal/obs and cmd/", checkObsOnly},
 }
 
 // Checks lists the registered check names and one-line descriptions.

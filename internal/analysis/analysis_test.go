@@ -90,6 +90,17 @@ func TestGoldenFindings(t *testing.T) {
 			},
 		},
 		{
+			fixture: "obsonly",
+			want: []string{
+				"internal/steg/prof.go:6 obsonly", // expvar in a kernel package
+				"internal/steg/prof.go:7 obsonly", // runtime/pprof likewise
+				// internal/obs and cmd/tool are exempt; suppressed.go is
+				// annotated. The obs fixture's tag-gated const pair also pins
+				// the loader's build-constraint skip: parsing both variants
+				// would fail type-checking with a redeclaration.
+			},
+		},
+		{
 			fixture: "suppress",
 			want: []string{
 				"internal/scaling/bad.go:7 declint",  // directive names no check
@@ -141,7 +152,7 @@ func TestUnknownCheckRejected(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{"noraw-go", "determinism", "floateq", "naninput", "errdrop"}
+	want := []string{"noraw-go", "determinism", "floateq", "naninput", "errdrop", "obsonly"}
 	checks := Checks()
 	if len(checks) != len(want) {
 		t.Fatalf("registry has %d checks, want %d", len(checks), len(want))

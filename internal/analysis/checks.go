@@ -414,3 +414,52 @@ func callLabel(call *ast.CallExpr) string {
 	}
 	return "call"
 }
+
+// ---- obsonly -----------------------------------------------------------
+
+// checkObsOnly restricts the profiling and metrics-exposition imports to
+// the observability package and the cmd/ entry points. Library code routes
+// all measurement through internal/obs, which keeps the disabled path a
+// single atomic load and the exposition surface in one audited place.
+func checkObsOnly(pkg *Package, cfg Config) []Finding {
+	if len(cfg.ObsOnlyImports) == 0 {
+		return nil
+	}
+	if cfg.ObsPkg != "" &&
+		(pkg.HasSuffix(cfg.ObsPkg) || pkg.HasSuffix(cfg.ObsPkg+"_test")) {
+		return nil
+	}
+	if isCmdPkg(pkg) {
+		return nil
+	}
+	restricted := map[string]bool{}
+	for _, p := range cfg.ObsOnlyImports {
+		restricted[p] = true
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, imp := range f.Ast.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if !restricted[path] {
+				continue
+			}
+			out = append(out, Finding{
+				Check: "obsonly", Pos: pkg.pos(imp),
+				Msg: "import of " + path + " outside " + cfg.ObsPkg +
+					" and cmd/; route observability through " + cfg.ObsPkg,
+			})
+		}
+	}
+	return out
+}
+
+// isCmdPkg reports whether the package lives under a cmd/ directory — an
+// entry point that may wire profiling and exposition directly.
+func isCmdPkg(pkg *Package) bool {
+	for _, seg := range strings.Split(pkg.Path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+// Command tool is a fixture entry point: cmd/ packages may wire the
+// profiling machinery directly.
+package main
+
+import _ "runtime/pprof"
+
+func main() {}

@@ -1,0 +1,5 @@
+//go:build !noobs
+
+package obs
+
+const compiledOut = false

@@ -1,0 +1,14 @@
+// Package obs is the fixture's observability home: the profiling and
+// exposition imports are allowed here and nowhere else outside cmd/.
+package obs
+
+import (
+	_ "expvar"
+	_ "runtime/pprof"
+)
+
+// Enabled reports the compile-time switch. The tag-gated const pair in
+// this package doubles as the loader's build-constraint regression: if
+// declint parsed both variants the package would fail to type-check with
+// a compiledOut redeclaration.
+func Enabled() bool { return !compiledOut }

@@ -1,0 +1,8 @@
+// Package steg is a kernel package: direct profiling and exposition
+// imports are banned here.
+package steg
+
+import (
+	_ "expvar"
+	_ "runtime/pprof"
+)

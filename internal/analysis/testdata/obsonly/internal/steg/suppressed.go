@@ -1,0 +1,4 @@
+package steg
+
+//declint:ignore obsonly fixture demonstrates an audited direct import
+import _ "runtime/pprof"

@@ -1,0 +1,139 @@
+// Package benchfmt parses `go test -bench` text output into structured
+// results. It backs cmd/benchjson (archiving benchmark runs as JSON
+// artifacts) and cmd/benchguard (failing CI when the observability
+// layer's disabled-mode overhead exceeds its budget), so both tools agree
+// on one parser.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name as printed, including any -N GOMAXPROCS
+	// suffix and sub-benchmark path.
+	Name string `json:"name"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_op"`
+	// BytesPerOp is the reported B/op; -1 when the benchmark did not run
+	// with -benchmem or ReportAllocs.
+	BytesPerOp int64 `json:"bytes_op"`
+	// AllocsPerOp is the reported allocs/op; -1 when absent.
+	AllocsPerOp int64 `json:"allocs_op"`
+	// MBPerSec is the reported MB/s; 0 when absent.
+	MBPerSec float64 `json:"mb_s,omitempty"`
+}
+
+// Document is the JSON artifact cmd/benchjson emits.
+type Document struct {
+	// Date is the run date (CI passes the commit date).
+	Date string `json:"date"`
+	// GoVersion is the toolchain that produced the numbers.
+	GoVersion string `json:"go_version"`
+	// Benchmarks holds the parsed results in input order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse extracts benchmark result lines from go test output. A result
+// line is `Benchmark<Name>[-P] <N> <value> <unit> [<value> <unit>]...`;
+// everything else is skipped. Unknown units are ignored so future testing
+// package additions do not break parsing.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// The second field must be the iteration count; "Benchmarking..."
+		// chatter and similar noise fails this and is skipped.
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+					return nil, fmt.Errorf("line %q: bad ns/op %q", sc.Text(), val)
+				}
+				ok = true
+			case "B/op":
+				if res.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+					return nil, fmt.Errorf("line %q: bad B/op %q", sc.Text(), val)
+				}
+			case "allocs/op":
+				if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+					return nil, fmt.Errorf("line %q: bad allocs/op %q", sc.Text(), val)
+				}
+			case "MB/s":
+				if res.MBPerSec, err = strconv.ParseFloat(val, 64); err != nil {
+					return nil, fmt.Errorf("line %q: bad MB/s %q", sc.Text(), val)
+				}
+			}
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BaseName strips the -N GOMAXPROCS suffix the testing package appends,
+// so "BenchmarkDetectDisabled-8" selects as "BenchmarkDetectDisabled".
+// Sub-benchmark path segments are kept.
+func BaseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Select returns the results whose base name equals base, in input order —
+// with `go test -count=N` that is the N repetitions of one benchmark.
+func Select(rs []Result, base string) []Result {
+	var out []Result
+	for _, r := range rs {
+		if BaseName(r.Name) == base {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MedianNsPerOp returns the median ns/op of the results (the robust
+// center cmd/benchguard compares); it returns 0 on an empty slice. An
+// even count averages the two central values.
+func MedianNsPerOp(rs []Result) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = r.NsPerOp
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}

@@ -1,0 +1,100 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+
+	"decamouflage/internal/testutil"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: decamouflage/internal/fourier
+cpu: Example CPU
+BenchmarkFFT2D256 	      50	   3301700 ns/op	 1048766 B/op	       6 allocs/op
+BenchmarkFFT1D256Planned-8  	  100000	      3805 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRankFilter256Serial/Window5 	      50	   9049049 ns/op
+BenchmarkThroughput 	     200	     52341 ns/op	 312.45 MB/s	    1024 B/op	       2 allocs/op
+PASS
+ok  	decamouflage/internal/fourier	5.1s
+--- FAIL: TestSomething
+Benchmarking note: this line is chatter, not a result
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(got), got)
+	}
+	want := []Result{
+		{Name: "BenchmarkFFT2D256", Iterations: 50, NsPerOp: 3301700, BytesPerOp: 1048766, AllocsPerOp: 6},
+		{Name: "BenchmarkFFT1D256Planned-8", Iterations: 100000, NsPerOp: 3805, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "BenchmarkRankFilter256Serial/Window5", Iterations: 50, NsPerOp: 9049049, BytesPerOp: -1, AllocsPerOp: -1},
+		{Name: "BenchmarkThroughput", Iterations: 200, NsPerOp: 52341, BytesPerOp: 1024, AllocsPerOp: 2, MBPerSec: 312.45},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseBadValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX 10 oops ns/op\n")); err == nil {
+		t.Fatal("malformed ns/op value must be an error")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok pkg 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d results from non-benchmark input", len(got))
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkDetectDisabled-8": "BenchmarkDetectDisabled",
+		"BenchmarkDetectDisabled":   "BenchmarkDetectDisabled",
+		"BenchmarkRank/Window5-16":  "BenchmarkRank/Window5",
+		"BenchmarkOdd-name":         "BenchmarkOdd-name", // suffix not numeric
+		"BenchmarkTwo-Pass-4":       "BenchmarkTwo-Pass",
+	}
+	for in, want := range cases {
+		if got := BaseName(in); got != want {
+			t.Errorf("BaseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSelectAndMedian(t *testing.T) {
+	rs := []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 300},
+		{Name: "BenchmarkB-8", NsPerOp: 1},
+		{Name: "BenchmarkA-8", NsPerOp: 100},
+		{Name: "BenchmarkA-8", NsPerOp: 200},
+	}
+	sel := Select(rs, "BenchmarkA")
+	if len(sel) != 3 {
+		t.Fatalf("selected %d results, want 3", len(sel))
+	}
+	if got := MedianNsPerOp(sel); !testutil.BitEqual(got, 200) {
+		t.Errorf("odd median = %v, want 200", got)
+	}
+	sel = append(sel, Result{Name: "BenchmarkA-8", NsPerOp: 400})
+	if got := MedianNsPerOp(sel); !testutil.BitEqual(got, 250) {
+		t.Errorf("even median = %v, want 250", got)
+	}
+	if got := MedianNsPerOp(nil); !testutil.BitEqual(got, 0) {
+		t.Errorf("empty median = %v, want 0", got)
+	}
+	if sel := Select(rs, "BenchmarkC"); len(sel) != 0 {
+		t.Errorf("selected %d results for absent name", len(sel))
+	}
+}

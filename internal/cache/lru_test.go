@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"decamouflage/internal/obs"
+)
+
+// newStats returns cache stats registered on a throwaway registry so
+// tests do not pollute obs.Default.
+func newStats(r *obs.Registry, prefix string) *obs.CacheStats {
+	return &obs.CacheStats{
+		Hits:      r.Counter(prefix + ".hits"),
+		Misses:    r.Counter(prefix + ".misses"),
+		Evictions: r.Counter(prefix + ".evictions"),
+		Size:      r.Gauge(prefix + ".size"),
+	}
+}
+
+func expectStats(t *testing.T, s *obs.CacheStats, hits, misses, evictions, size int64) {
+	t.Helper()
+	if got := s.Hits.Value(); got != hits {
+		t.Errorf("hits = %d, want %d", got, hits)
+	}
+	if got := s.Misses.Value(); got != misses {
+		t.Errorf("misses = %d, want %d", got, misses)
+	}
+	if got := s.Evictions.Value(); got != evictions {
+		t.Errorf("evictions = %d, want %d", got, evictions)
+	}
+	if got := s.Size.Value(); got != size {
+		t.Errorf("size = %d, want %d", got, size)
+	}
+}
+
+func build(v int) func() (int, error) {
+	return func() (int, error) { return v, nil }
+}
+
+func TestGetOrBuildHitMiss(t *testing.T) {
+	c := NewLRU[string, int](4, nil)
+	v, err := c.GetOrBuild("a", build(1))
+	if err != nil || v != 1 {
+		t.Fatalf("GetOrBuild = %d, %v", v, err)
+	}
+	built := false
+	v, err = c.GetOrBuild("a", func() (int, error) { built = true; return 2, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("second GetOrBuild = %d, %v; want cached 1", v, err)
+	}
+	if built {
+		t.Fatal("hit must not invoke build")
+	}
+}
+
+func TestBuildErrorNotCached(t *testing.T) {
+	c := NewLRU[string, int](4, nil)
+	boom := errors.New("boom")
+	if _, err := c.GetOrBuild("a", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed build must cache nothing")
+	}
+	if v, err := c.GetOrBuild("a", build(7)); err != nil || v != 7 {
+		t.Fatalf("retry after error = %d, %v", v, err)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU[string, int](2, nil)
+	mustBuild := func(k string, v int) {
+		t.Helper()
+		if got, err := c.GetOrBuild(k, build(v)); err != nil || got != v {
+			t.Fatalf("GetOrBuild(%q) = %d, %v", k, got, err)
+		}
+	}
+	mustBuild("a", 1)
+	mustBuild("b", 2)
+	mustBuild("a", 1) // touch a, making b the LRU entry
+	mustBuild("c", 3) // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	rebuilt := false
+	if _, err := c.GetOrBuild("a", func() (int, error) { rebuilt = true; return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt {
+		t.Fatal("a should have survived eviction")
+	}
+	if _, err := c.GetOrBuild("b", func() (int, error) { rebuilt = true; return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt {
+		t.Fatal("b should have been the evicted entry")
+	}
+}
+
+// TestStatsSequence pins the exact counter stream for a deterministic
+// serial access pattern against a capacity-2 cache.
+func TestStatsSequence(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	if !obs.Enabled() {
+		t.Skip("observability compiled out (noobs)")
+	}
+	r := obs.NewRegistry()
+	s := newStats(r, "test.lru")
+	c := NewLRU[int, int](2, s)
+
+	get := func(k int) {
+		t.Helper()
+		if _, err := c.GetOrBuild(k, build(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get(1) // miss, size 1
+	expectStats(t, s, 0, 1, 0, 1)
+	get(2) // miss, size 2
+	expectStats(t, s, 0, 2, 0, 2)
+	get(1) // hit
+	expectStats(t, s, 1, 2, 0, 2)
+	get(3) // miss, evicts 2, size stays 2
+	expectStats(t, s, 1, 3, 1, 2)
+	get(2) // miss again (was evicted), evicts 1
+	expectStats(t, s, 1, 4, 2, 2)
+	get(3) // hit
+	expectStats(t, s, 2, 4, 2, 2)
+
+	c.Reset()
+	if got := s.Size.Value(); got != 0 {
+		t.Fatalf("size after Reset = %d, want 0", got)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := NewLRU[int, int](0, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := c.GetOrBuild(i, build(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("len = %d, want 1 (capacity floored)", got)
+	}
+}
+
+func TestManyKeysStayBounded(t *testing.T) {
+	c := NewLRU[string, int](8, nil)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, err := c.GetOrBuild(k, build(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got != 8 {
+		t.Fatalf("len = %d, want 8", got)
+	}
+}

@@ -5,12 +5,14 @@
 package detect
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"decamouflage/internal/filtering"
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/metrics"
+	"decamouflage/internal/obs"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
 )
@@ -127,12 +129,30 @@ type Scorer interface {
 	Score(img *imgcore.Image) (float64, error)
 }
 
+// ContextScorer is a Scorer that additionally accepts a context, through
+// which per-stage observability (obs spans and latency histograms) flows.
+// Detector.DetectCtx uses ScoreCtx when available and falls back to Score,
+// so third-party Scorer implementations keep working unchanged.
+type ContextScorer interface {
+	Scorer
+	// ScoreCtx computes the raw metric value for img, recording stage
+	// timings under ctx's trace (if any).
+	ScoreCtx(ctx context.Context, img *imgcore.Image) (float64, error)
+}
+
 // Interface compliance.
 var (
-	_ Scorer = (*ScalingScorer)(nil)
-	_ Scorer = (*FilteringScorer)(nil)
-	_ Scorer = (*StegScorer)(nil)
+	_ ContextScorer = (*ScalingScorer)(nil)
+	_ ContextScorer = (*FilteringScorer)(nil)
+	_ ContextScorer = (*StegScorer)(nil)
 )
+
+// stageHist returns the latency histogram for one named stage of a scorer,
+// resolved once at scorer construction so the hot path never touches the
+// registry.
+func stageHist(scorer, stage string) *obs.Histogram {
+	return obs.H("detect.stage." + scorer + "." + stage + ".seconds")
+}
 
 // ErrNilScaler indicates a scorer constructed without its scaler.
 var ErrNilScaler = errors.New("detect: scaler is required")
@@ -147,6 +167,9 @@ type ScalingScorer struct {
 	// scaler's source geometry; other sizes fall back to a fresh build.
 	upscaler *scaling.Scaler
 	metric   Metric
+
+	// Per-stage latency histograms, resolved at construction.
+	downH, upH, metricH *obs.Histogram
 }
 
 // NewScalingScorer builds the Method-1 scorer.
@@ -163,31 +186,52 @@ func NewScalingScorer(scaler *scaling.Scaler, metric Metric) (*ScalingScorer, er
 	if err != nil {
 		return nil, fmt.Errorf("detect: prepare upscaler: %w", err)
 	}
-	return &ScalingScorer{scaler: scaler, upscaler: up, metric: metric}, nil
+	name := "scaling/" + metric.String()
+	return &ScalingScorer{
+		scaler: scaler, upscaler: up, metric: metric,
+		downH:   stageHist(name, "downscale"),
+		upH:     stageHist(name, "upscale"),
+		metricH: stageHist(name, "metric"),
+	}, nil
 }
 
 // Name implements Scorer.
 func (s *ScalingScorer) Name() string { return "scaling/" + s.metric.String() }
 
 // Score implements Scorer.
+//
+//declint:nan-ok delegates to ScoreCtx, which validates the input via imgcore.Validate
 func (s *ScalingScorer) Score(img *imgcore.Image) (float64, error) {
+	return s.ScoreCtx(context.Background(), img)
+}
+
+// ScoreCtx implements ContextScorer: the round trip runs as three observed
+// stages (downscale, upscale, metric).
+func (s *ScalingScorer) ScoreCtx(ctx context.Context, img *imgcore.Image) (float64, error) {
 	if err := img.Validate(); err != nil {
 		return 0, err
 	}
+	_, st := obs.StartStage(ctx, "downscale", s.downH)
 	down, err := s.scaler.Resize(img)
+	st.End()
 	if err != nil {
 		return 0, fmt.Errorf("detect: scaling downscale: %w", err)
 	}
 	var up *imgcore.Image
+	_, st = obs.StartStage(ctx, "upscale", s.upH)
 	if upW, upH := s.upscaler.DstSize(); upW == img.W && upH == img.H {
 		up, err = s.upscaler.Resize(down)
 	} else {
 		up, err = scaling.Resize(down, img.W, img.H, s.scaler.Options())
 	}
+	st.End()
 	if err != nil {
 		return 0, fmt.Errorf("detect: scaling upscale: %w", err)
 	}
-	return applyMetric(s.metric, img, up)
+	_, st = obs.StartStage(ctx, "metric", s.metricH)
+	v, err := applyMetric(s.metric, img, up)
+	st.End()
+	return v, err
 }
 
 // FilteringScorer implements the paper's Method 2: apply a minimum filter
@@ -197,6 +241,9 @@ func (s *ScalingScorer) Score(img *imgcore.Image) (float64, error) {
 type FilteringScorer struct {
 	window int
 	metric Metric
+
+	// Per-stage latency histograms, resolved at construction.
+	filterH, metricH *obs.Histogram
 }
 
 // NewFilteringScorer builds the Method-2 scorer with the given minimum
@@ -208,34 +255,53 @@ func NewFilteringScorer(window int, metric Metric) (*FilteringScorer, error) {
 	if metric != MSE && metric != SSIM && metric != PSNR {
 		return nil, fmt.Errorf("detect: filtering method does not support metric %v", metric)
 	}
-	return &FilteringScorer{window: window, metric: metric}, nil
+	name := "filtering/" + metric.String()
+	return &FilteringScorer{
+		window: window, metric: metric,
+		filterH: stageHist(name, "minfilter"),
+		metricH: stageHist(name, "metric"),
+	}, nil
 }
 
 // Name implements Scorer.
 func (s *FilteringScorer) Name() string { return "filtering/" + s.metric.String() }
 
 // Score implements Scorer.
+//
+//declint:nan-ok delegates to ScoreCtx, which validates the input via imgcore.Validate
 func (s *FilteringScorer) Score(img *imgcore.Image) (float64, error) {
+	return s.ScoreCtx(context.Background(), img)
+}
+
+// ScoreCtx implements ContextScorer: erosion and the metric run as two
+// observed stages.
+func (s *FilteringScorer) ScoreCtx(ctx context.Context, img *imgcore.Image) (float64, error) {
 	if err := img.Validate(); err != nil {
 		return 0, err
 	}
+	_, st := obs.StartStage(ctx, "minfilter", s.filterH)
 	f, err := filtering.Minimum(img, s.window)
+	st.End()
 	if err != nil {
 		return 0, fmt.Errorf("detect: minimum filter: %w", err)
 	}
-	return applyMetric(s.metric, img, f)
+	_, st = obs.StartStage(ctx, "metric", s.metricH)
+	v, err := applyMetric(s.metric, img, f)
+	st.End()
+	return v, err
 }
 
 // StegScorer implements the paper's Method 3: the CSP count in the
 // frequency domain (see internal/steg).
 type StegScorer struct {
 	opts steg.Options
+	cspH *obs.Histogram
 }
 
 // NewStegScorer builds the Method-3 scorer. Zero-valued options take the
 // calibrated defaults.
 func NewStegScorer(opts steg.Options) *StegScorer {
-	return &StegScorer{opts: opts}
+	return &StegScorer{opts: opts, cspH: stageHist("steganalysis/CSP", "csp")}
 }
 
 // Name implements Scorer.
@@ -245,7 +311,17 @@ func (s *StegScorer) Name() string { return "steganalysis/CSP" }
 //
 //declint:nan-ok delegates to steg.CSP, which validates input; NaN/Inf totality is pinned by FuzzCSP
 func (s *StegScorer) Score(img *imgcore.Image) (float64, error) {
+	return s.ScoreCtx(context.Background(), img)
+}
+
+// ScoreCtx implements ContextScorer: the CSP computation is one observed
+// stage.
+//
+//declint:nan-ok delegates to steg.CSP, which validates input; NaN/Inf totality is pinned by FuzzCSP
+func (s *StegScorer) ScoreCtx(ctx context.Context, img *imgcore.Image) (float64, error) {
+	_, st := obs.StartStage(ctx, "csp", s.cspH)
 	n, err := steg.CSP(img, s.opts)
+	st.End()
 	if err != nil {
 		return 0, fmt.Errorf("detect: csp: %w", err)
 	}
@@ -270,6 +346,12 @@ func applyMetric(m Metric, a, b *imgcore.Image) (float64, error) {
 type Detector struct {
 	scorer    Scorer
 	threshold Threshold
+
+	// Per-method score latency and verdict tallies, resolved at
+	// construction (detect.score.<name>.seconds, detect.verdict.<name>.*).
+	scoreH  *obs.Histogram
+	attackC *obs.Counter
+	benignC *obs.Counter
 }
 
 // NewDetector builds a detector; the threshold must be valid.
@@ -280,7 +362,13 @@ func NewDetector(scorer Scorer, threshold Threshold) (*Detector, error) {
 	if err := threshold.Validate(); err != nil {
 		return nil, err
 	}
-	return &Detector{scorer: scorer, threshold: threshold}, nil
+	name := scorer.Name()
+	return &Detector{
+		scorer: scorer, threshold: threshold,
+		scoreH:  obs.H("detect.score." + name + ".seconds"),
+		attackC: obs.C("detect.verdict." + name + ".attack"),
+		benignC: obs.C("detect.verdict." + name + ".benign"),
+	}, nil
 }
 
 // Name returns the underlying scorer's name.
@@ -293,15 +381,45 @@ func (d *Detector) Threshold() Threshold { return d.threshold }
 //
 //declint:nan-ok NaN/Inf handling is the scorer's contract; a NaN score classifies as benign (Classify is false on NaN)
 func (d *Detector) Detect(img *imgcore.Image) (Verdict, error) {
-	score, err := d.scorer.Score(img)
+	return d.DetectCtx(context.Background(), img)
+}
+
+// DetectCtx scores img and classifies it, recording the method's score
+// latency and verdict tally, and — under a traced context — a span named
+// after the method carrying the score and decision, with the scorer's
+// stage spans nested beneath it (when the scorer is a ContextScorer).
+//
+//declint:nan-ok NaN/Inf handling is the scorer's contract; a NaN score classifies as benign (Classify is false on NaN)
+func (d *Detector) DetectCtx(ctx context.Context, img *imgcore.Image) (Verdict, error) {
+	sctx, st := obs.StartStage(ctx, d.scorer.Name(), d.scoreH)
+	var (
+		score float64
+		err   error
+	)
+	if cs, ok := d.scorer.(ContextScorer); ok {
+		score, err = cs.ScoreCtx(sctx, img)
+	} else {
+		score, err = d.scorer.Score(img)
+	}
 	if err != nil {
+		st.End()
 		return Verdict{}, err
 	}
-	return Verdict{
+	v := Verdict{
 		Attack: d.threshold.Classify(score),
 		Score:  score,
 		Method: d.scorer.Name(),
-	}, nil
+	}
+	sp := st.Span()
+	sp.AttrFloat("score", score)
+	sp.AttrBool("attack", v.Attack)
+	st.End()
+	if v.Attack {
+		d.attackC.Inc()
+	} else {
+		d.benignC.Inc()
+	}
+	return v, nil
 }
 
 // DefaultCSPThreshold is the paper's fixed steganalysis decision rule:

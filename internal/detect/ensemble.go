@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/obs"
 	"decamouflage/internal/parallel"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
@@ -27,6 +28,13 @@ type EnsembleVerdict struct {
 // performs majority voting").
 type Ensemble struct {
 	detectors []*Detector
+
+	// Whole-ensemble latency and majority-vote tallies, resolved at
+	// construction (detect.ensemble.*).
+	detectH *obs.Histogram
+	images  *obs.Counter
+	attackC *obs.Counter
+	benignC *obs.Counter
 }
 
 // NewEnsemble builds an ensemble. At least one detector is required; an odd
@@ -40,7 +48,13 @@ func NewEnsemble(detectors ...*Detector) (*Ensemble, error) {
 			return nil, fmt.Errorf("detect: ensemble detector %d is nil", i)
 		}
 	}
-	return &Ensemble{detectors: append([]*Detector(nil), detectors...)}, nil
+	return &Ensemble{
+		detectors: append([]*Detector(nil), detectors...),
+		detectH:   obs.H("detect.ensemble.seconds"),
+		images:    obs.C("detect.ensemble.images"),
+		attackC:   obs.C("detect.ensemble.attack"),
+		benignC:   obs.C("detect.ensemble.benign"),
+	}, nil
 }
 
 // Detectors returns the ensemble members.
@@ -52,6 +66,10 @@ func (e *Ensemble) Detectors() []*Detector {
 // method, bounded by GOMAXPROCS) and majority-votes. It honours ctx
 // cancellation between and during method launches; the first scoring error
 // — by detector order — aborts the ensemble.
+//
+// Observability: the whole call is one stage ("ensemble.detect", latency
+// in detect.ensemble.seconds) with each method's span nested under it, and
+// the vote outcome recorded on the detect.ensemble.attack/benign counters.
 func (e *Ensemble) Detect(ctx context.Context, img *imgcore.Image) (*EnsembleVerdict, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -59,11 +77,13 @@ func (e *Ensemble) Detect(ctx context.Context, img *imgcore.Image) (*EnsembleVer
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
+	sctx, st := obs.StartStage(ctx, "ensemble.detect", e.detectH)
+	defer st.End()
 	verdicts := make([]Verdict, len(e.detectors))
 	tasks := make([]func() error, len(e.detectors))
 	for i, d := range e.detectors {
 		tasks[i] = func() error {
-			v, err := d.Detect(img)
+			v, err := d.DetectCtx(sctx, img)
 			if err != nil {
 				return fmt.Errorf("%s: %w", d.Name(), err)
 			}
@@ -80,11 +100,21 @@ func (e *Ensemble) Detect(ctx context.Context, img *imgcore.Image) (*EnsembleVer
 			votes++
 		}
 	}
-	return &EnsembleVerdict{
+	out := &EnsembleVerdict{
 		Attack:   votes*2 > len(verdicts),
 		Votes:    votes,
 		Verdicts: verdicts,
-	}, nil
+	}
+	sp := st.Span()
+	sp.AttrInt("votes", int64(votes))
+	sp.AttrBool("attack", out.Attack)
+	e.images.Inc()
+	if out.Attack {
+		e.attackC.Inc()
+	} else {
+		e.benignC.Inc()
+	}
+	return out, nil
 }
 
 // DefaultConfig describes the canonical three-method Decamouflage ensemble

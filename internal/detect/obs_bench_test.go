@@ -1,0 +1,41 @@
+package detect
+
+import (
+	"context"
+	"testing"
+
+	"decamouflage/internal/obs"
+)
+
+// benchDetect measures one full three-method ensemble detection. The
+// Disabled/Instrumented pair is the observability overhead gate: CI runs
+// BenchmarkDetectDisabled against a -tags noobs baseline (instrumentation
+// compiled out) via cmd/benchguard and fails the build when the
+// disabled-path cost exceeds 2%.
+func benchDetect(b *testing.B) {
+	e := obsTestEnsemble(b)
+	img := obsTestImage(b, 32, 32)
+	ctx := context.Background()
+	// Warm the coefficient and plan caches so the loop measures the
+	// steady-state hot path, not one-time setup.
+	if _, err := e.Detect(ctx, img); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Detect(ctx, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectDisabled(b *testing.B) {
+	obs.Disable()
+	benchDetect(b)
+}
+
+func BenchmarkDetectInstrumented(b *testing.B) {
+	obs.Enable()
+	b.Cleanup(obs.Disable)
+	benchDetect(b)
+}

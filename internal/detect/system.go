@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"decamouflage/internal/obs"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
 )
@@ -32,6 +33,10 @@ type SystemConfig struct {
 	// are omitted from the ensemble; a missing steganalysis entry uses the
 	// paper's fixed CSP >= 2 rule.
 	Thresholds map[string]Threshold `json:"thresholds"`
+	// Obs carries the deployment's observability settings (metrics
+	// recording and dump destination, debug server, profiling outputs).
+	// Nil means everything off; CLI flags override individual fields.
+	Obs *obs.Settings `json:"obs,omitempty"`
 }
 
 // Validate checks the config for structural problems.

@@ -18,6 +18,7 @@ import (
 	"decamouflage/internal/detect"
 	"decamouflage/internal/eval"
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/obs"
 	"decamouflage/internal/scaling"
 )
 
@@ -292,7 +293,12 @@ func (r *Runner) Run(ctx context.Context, ids ...string) error {
 			return err
 		}
 		r.printf("== %s: %s ==\n", e.ID, e.Title)
-		if err := e.run(r, ctx); err != nil {
+		// Each experiment is one observed stage: wall time lands in
+		// experiments.<ID>.seconds and, under a traced context, a span.
+		ectx, st := obs.StartStage(ctx, "experiments."+e.ID, obs.H("experiments."+e.ID+".seconds"))
+		err := e.run(r, ectx)
+		st.End()
+		if err != nil {
 			return fmt.Errorf("experiments: %s: %w", e.ID, err)
 		}
 	}

@@ -21,6 +21,9 @@ import (
 	"math/bits"
 	"math/cmplx"
 	"sync"
+
+	"decamouflage/internal/cache"
+	"decamouflage/internal/obs"
 )
 
 // Plan is an immutable, reusable 1-D DFT descriptor for one (length,
@@ -227,78 +230,27 @@ type planKey struct {
 	inverse bool
 }
 
-type planEntry struct {
-	plan *Plan
-	used uint64 // logical access clock, for LRU eviction
-}
-
-var planCache = struct {
-	sync.Mutex
-	m     map[planKey]*planEntry
-	clock uint64
-}{m: make(map[planKey]*planEntry)}
+// planCache memoizes plans per (length, direction), reporting hit/miss/
+// eviction counts as the "fourier.plan" cache metrics.
+var planCache = cache.NewLRU[planKey, *Plan](planCacheCap, obs.NewCacheStats("fourier.plan"))
 
 // PlanFor returns the cached plan for (n, direction), building and caching
 // it on first use. The cache holds at most planCacheCap entries and evicts
 // the least recently used; eviction only drops the cache's reference, so
 // plans already held by callers (or embedded as Bluestein sub-plans)
-// remain valid. Concurrent callers may briefly build the same plan twice;
-// both copies compute identical tables, so whichever lands in the cache is
+// remain valid. Concurrent callers may briefly build the same plan twice
+// (the build runs outside the cache lock, which also lets Bluestein
+// construction recursively call PlanFor for its convolution length); both
+// copies compute identical tables, so whichever lands in the cache is
 // indistinguishable.
 func PlanFor(n int, inverse bool) (*Plan, error) {
-	key := planKey{n: n, inverse: inverse}
-	planCache.Lock()
-	if e, ok := planCache.m[key]; ok {
-		planCache.clock++
-		e.used = planCache.clock
-		p := e.plan
-		planCache.Unlock()
-		return p, nil
-	}
-	planCache.Unlock()
-
-	// Build outside the lock: Bluestein construction recursively calls
-	// PlanFor for its convolution length.
-	p, err := NewPlan(n, inverse)
-	if err != nil {
-		return nil, err
-	}
-
-	planCache.Lock()
-	defer planCache.Unlock()
-	if e, ok := planCache.m[key]; ok {
-		// Lost the build race; keep the incumbent so concurrent holders of
-		// the cached pointer and we agree on one instance.
-		planCache.clock++
-		e.used = planCache.clock
-		return e.plan, nil
-	}
-	planCache.clock++
-	planCache.m[key] = &planEntry{plan: p, used: planCache.clock}
-	if len(planCache.m) > planCacheCap {
-		var oldest planKey
-		var oldestUsed uint64 = math.MaxUint64
-		for k, e := range planCache.m {
-			if e.used < oldestUsed {
-				oldest, oldestUsed = k, e.used
-			}
-		}
-		delete(planCache.m, oldest)
-	}
-	return p, nil
+	return planCache.GetOrBuild(planKey{n: n, inverse: inverse}, func() (*Plan, error) {
+		return NewPlan(n, inverse)
+	})
 }
 
 // planCacheLen reports the current cache population (for tests).
-func planCacheLen() int {
-	planCache.Lock()
-	defer planCache.Unlock()
-	return len(planCache.m)
-}
+func planCacheLen() int { return planCache.Len() }
 
 // resetPlanCache empties the cache (for tests).
-func resetPlanCache() {
-	planCache.Lock()
-	defer planCache.Unlock()
-	planCache.m = make(map[planKey]*planEntry)
-	planCache.clock = 0
-}
+func resetPlanCache() { planCache.Reset() }

@@ -12,7 +12,9 @@ import (
 	"math"
 	"sync"
 
+	"decamouflage/internal/cache"
 	"decamouflage/internal/imgcore"
+	"decamouflage/internal/obs"
 	"decamouflage/internal/parallel"
 )
 
@@ -227,53 +229,18 @@ type kernelKey struct {
 	sigmaBits uint64
 }
 
-type kernelEntry struct {
-	kern []float64
-	used uint64 // logical access clock, for LRU eviction
-}
-
-var kernelCache = struct {
-	sync.Mutex
-	m     map[kernelKey]*kernelEntry
-	clock uint64
-}{m: make(map[kernelKey]*kernelEntry)}
+// kernelCache memoizes Gaussian windows, reporting hit/miss/eviction
+// counts as the "metrics.gausswin" cache metrics.
+var kernelCache = cache.NewLRU[kernelKey, []float64](kernelCacheCap, obs.NewCacheStats("metrics.gausswin"))
 
 // kernelFor returns the cached normalized Gaussian window for (r, sigma),
 // building it on first use. The returned slice is shared and must be
 // treated as immutable.
 func kernelFor(r int, sigma float64) []float64 {
 	key := kernelKey{r: r, sigmaBits: math.Float64bits(sigma)}
-	kernelCache.Lock()
-	if e, ok := kernelCache.m[key]; ok {
-		kernelCache.clock++
-		e.used = kernelCache.clock
-		k := e.kern
-		kernelCache.Unlock()
-		return k
-	}
-	kernelCache.Unlock()
-
-	k := gaussianKernel(r, sigma)
-
-	kernelCache.Lock()
-	defer kernelCache.Unlock()
-	if e, ok := kernelCache.m[key]; ok {
-		kernelCache.clock++
-		e.used = kernelCache.clock
-		return e.kern
-	}
-	kernelCache.clock++
-	kernelCache.m[key] = &kernelEntry{kern: k, used: kernelCache.clock}
-	if len(kernelCache.m) > kernelCacheCap {
-		var oldest kernelKey
-		var oldestUsed uint64 = math.MaxUint64
-		for kk, e := range kernelCache.m {
-			if e.used < oldestUsed {
-				oldest, oldestUsed = kk, e.used
-			}
-		}
-		delete(kernelCache.m, oldest)
-	}
+	k, _ := kernelCache.GetOrBuild(key, func() ([]float64, error) {
+		return gaussianKernel(r, sigma), nil
+	})
 	return k
 }
 

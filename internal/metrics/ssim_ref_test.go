@@ -186,10 +186,7 @@ func TestKernelForCaching(t *testing.T) {
 	for i := 0; i < 3*kernelCacheCap; i++ {
 		kernelFor(2, 0.5+float64(i)*0.01)
 	}
-	kernelCache.Lock()
-	got := len(kernelCache.m)
-	kernelCache.Unlock()
-	if got > kernelCacheCap {
+	if got := kernelCache.Len(); got > kernelCacheCap {
 		t.Fatalf("kernel cache grew to %d entries, cap is %d", got, kernelCacheCap)
 	}
 }

@@ -1,0 +1,9 @@
+//go:build noobs
+
+package obs
+
+// compiledOut is true under the noobs build tag: every obs entry point
+// short-circuits on this constant and the compiler eliminates the dead
+// recording code. CI benchmarks this build as the no-observability
+// baseline for the disabled-path overhead guard.
+const compiledOut = true

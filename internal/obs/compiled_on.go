@@ -1,0 +1,7 @@
+//go:build !noobs
+
+package obs
+
+// compiledOut is false in normal builds: observability is present but
+// disabled until Enable is called.
+const compiledOut = false

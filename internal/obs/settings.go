@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Settings is the serializable observability configuration shared by the
+// CLIs and SystemConfig. The zero value means "everything off", matching
+// the package default.
+type Settings struct {
+	// Metrics enables recording into the default registry.
+	Metrics bool `json:"metrics,omitempty"`
+	// MetricsOut is where to dump the registry on Close: a file path, or
+	// "-" for stdout. Implies Metrics.
+	MetricsOut string `json:"metrics_out,omitempty"`
+	// MetricsFormat selects the dump format: "json" (default) or "prom".
+	MetricsFormat string `json:"metrics_format,omitempty"`
+	// DebugAddr, when non-empty, serves /healthz, /metrics and
+	// /debug/pprof on this address for the life of the session.
+	DebugAddr string `json:"debug_addr,omitempty"`
+	// CPUProfile and MemProfile are pprof output paths.
+	CPUProfile string `json:"cpuprofile,omitempty"`
+	MemProfile string `json:"memprofile,omitempty"`
+}
+
+// Session is the running state created by Settings.Apply. Close stops
+// profiling, writes any requested dumps, and shuts the debug server down.
+type Session struct {
+	settings Settings
+	stopCPU  func() error
+	server   *DebugServer
+}
+
+// DebugAddr returns the bound debug-server address, or "" if none was
+// requested.
+func (s *Session) DebugAddr() string {
+	if s == nil {
+		return ""
+	}
+	return s.server.Addr()
+}
+
+// Apply activates the settings: enables metrics recording, starts CPU
+// profiling and the debug server. The returned Session must be Closed to
+// flush profiles and dumps; Close is safe on a nil Session, so callers
+// can unconditionally defer it.
+func (s Settings) Apply() (*Session, error) {
+	sess := &Session{settings: s}
+	if s.Metrics || s.MetricsOut != "" || s.DebugAddr != "" {
+		Enable()
+	}
+	if s.CPUProfile != "" {
+		stop, err := StartCPUProfile(s.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		sess.stopCPU = stop
+	}
+	if s.DebugAddr != "" {
+		srv, err := ServeDebug(s.DebugAddr)
+		if err != nil {
+			if sess.stopCPU != nil {
+				sess.stopCPU()
+			}
+			return nil, err
+		}
+		sess.server = srv
+	}
+	return sess, nil
+}
+
+// writeMetrics dumps the default registry to w in the configured format.
+func (s Settings) writeMetrics(w io.Writer) error {
+	switch strings.ToLower(s.MetricsFormat) {
+	case "", "json":
+		return Default.WriteJSON(w)
+	case "prom", "prometheus":
+		return Default.WritePrometheus(w)
+	default:
+		return fmt.Errorf("obs: unknown metrics format %q (want json or prom)", s.MetricsFormat)
+	}
+}
+
+// DumpMetrics writes the default registry to dst ("-" or "" for stdout)
+// using the settings' format.
+func (s Settings) DumpMetrics(dst string) error {
+	if dst == "" || dst == "-" {
+		return s.writeMetrics(os.Stdout)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return fmt.Errorf("obs: create metrics dump: %w", err)
+	}
+	if err := s.writeMetrics(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Close finishes the session: stops CPU profiling, writes the heap
+// profile and metrics dump if requested, and closes the debug server.
+// The first error wins but every step runs.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if s.stopCPU != nil {
+		keep(s.stopCPU())
+	}
+	keep(WriteHeapProfile(s.settings.MemProfile))
+	if s.settings.MetricsOut != "" {
+		keep(s.settings.DumpMetrics(s.settings.MetricsOut))
+	}
+	keep(s.server.Close())
+	return first
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// spanKey carries the active span through a context.
+type spanKey struct{}
+
+// Attr is one key=value annotation on a span. Values are pre-rendered
+// strings so rendering needs no reflection.
+type Attr struct {
+	Key, Value string
+}
+
+// Span is one timed region of a trace. Spans form a tree: StartSpan under
+// a traced context attaches a child to the context's span. A nil *Span is
+// a valid no-op receiver, which is what StartSpan returns on untraced
+// contexts — instrumented code never branches on tracing itself.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Trace owns the root span of one traced operation (e.g. one image
+// classification). Create with WithTrace, finish with End, print with
+// Render.
+type Trace struct {
+	root *Span
+}
+
+// WithTrace starts a new trace rooted at name and returns a context that
+// carries it: every StartSpan under that context records into the trace.
+// Tracing is independent of the metrics flag — it is enabled purely by
+// the presence of a trace in the context.
+func WithTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	if compiledOut {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, s), &Trace{root: s}
+}
+
+// Root returns the trace's root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// End closes the root span.
+func (t *Trace) End() { t.Root().End() }
+
+// StartSpan starts a child span under the context's active span. On a
+// context with no trace it returns (ctx, nil) — a single context.Value
+// miss — so instrumentation is safe on every code path.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if compiledOut {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, s)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// End records the span's duration. The first call wins; later calls are
+// no-ops, and rendering an unended span shows its live duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the recorded duration (or the live duration of a span
+// not yet ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Children returns a snapshot of the span's child spans, in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// attr appends one rendered attribute.
+func (s *Span) attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// AttrString annotates the span with a string value.
+func (s *Span) AttrString(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attr(key, value)
+}
+
+// AttrFloat annotates the span with a float value. The value formats with
+// %.6g, matching the CLI's score output.
+func (s *Span) AttrFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attr(key, strconv.FormatFloat(v, 'g', 6, 64))
+}
+
+// AttrInt annotates the span with an integer value.
+func (s *Span) AttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attr(key, strconv.FormatInt(v, 10))
+}
+
+// AttrBool annotates the span with a boolean value.
+func (s *Span) AttrBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.attr(key, strconv.FormatBool(v))
+}
+
+// Render writes the trace as an indented timeline, one line per span:
+//
+//	ensemble.detect                 12.4ms
+//	  scaling/MSE          +0.1ms    8.2ms  score=123.456 attack=true
+//	    downscale          +0.1ms    5.0ms
+//
+// The +offset column is the span's start relative to the root. A nil
+// trace renders nothing.
+func (t *Trace) Render(w io.Writer) error {
+	root := t.Root()
+	if root == nil {
+		return nil
+	}
+	return renderSpan(w, root, root.start, 0)
+}
+
+// fmtDur rounds a duration for display: microsecond precision below 10ms,
+// 10µs above, so columns stay short without hiding stage costs.
+func fmtDur(d time.Duration) string {
+	if d < 10*time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(10 * time.Microsecond).String()
+}
+
+func renderSpan(w io.Writer, s *Span, origin time.Time, depth int) error {
+	s.mu.Lock()
+	name := s.name
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	start := s.start
+	s.mu.Unlock()
+
+	line := fmt.Sprintf("%*s%-24s", depth*2, "", name)
+	if depth > 0 {
+		line += fmt.Sprintf(" +%-9s", fmtDur(start.Sub(origin)))
+	} else {
+		line += fmt.Sprintf(" %-10s", "")
+	}
+	line += fmt.Sprintf(" %9s", fmtDur(dur))
+	for _, a := range attrs {
+		line += " " + a.Key + "=" + a.Value
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := renderSpan(w, c, origin, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stage couples a span with a latency histogram so a single Start/End
+// pair feeds both the per-image trace (when the context is traced) and
+// the aggregate metrics (when recording is enabled). The zero Stage is a
+// no-op, which is what StartStage returns when both are off.
+type Stage struct {
+	span  *Span
+	hist  *Histogram
+	start time.Time
+}
+
+// StartStage begins a stage named name under ctx, recording its duration
+// into h. The returned context carries the stage's span so nested stages
+// become children.
+func StartStage(ctx context.Context, name string, h *Histogram) (context.Context, Stage) {
+	if compiledOut {
+		return ctx, Stage{}
+	}
+	ctx, sp := StartSpan(ctx, name)
+	st := Stage{span: sp, hist: h}
+	switch {
+	case sp != nil:
+		st.start = sp.start
+	case h != nil && enabled.Load():
+		st.start = time.Now()
+	}
+	return ctx, st
+}
+
+// Span returns the stage's span (nil when the context was untraced), for
+// attaching attributes.
+func (st Stage) Span() *Span { return st.span }
+
+// End closes the stage: ends the span and records the elapsed time into
+// the histogram (itself gated on the metrics flag).
+func (st Stage) End() {
+	if st.start.IsZero() {
+		return
+	}
+	st.span.End()
+	if st.hist != nil {
+		st.hist.Observe(time.Since(st.start))
+	}
+}

@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"context"
+	"testing"
+
+	"decamouflage/internal/obs"
+)
+
+// TestForCounters pins the substrate metrics: calls, serial fallbacks,
+// chunk tally, and the worker gauge of the last concurrent call.
+func TestForCounters(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	if !obs.Enabled() {
+		t.Skip("observability compiled out (noobs)")
+	}
+	calls0 := forCalls.Value()
+	serial0 := forSerial.Value()
+	tasks0 := forTasks.Value()
+
+	// Serial: one worker, 10 chunks of grain 1.
+	err := For(context.Background(), 10, func(lo, hi int) error { return nil }, Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := forCalls.Value() - calls0; got != 1 {
+		t.Errorf("calls delta = %d, want 1", got)
+	}
+	if got := forSerial.Value() - serial0; got != 1 {
+		t.Errorf("serial delta = %d, want 1", got)
+	}
+	if got := forTasks.Value() - tasks0; got != 10 {
+		t.Errorf("tasks delta = %d, want 10", got)
+	}
+
+	// Concurrent: 4 workers over 8 chunks of grain 2.
+	serial1 := forSerial.Value()
+	err = For(context.Background(), 16, func(lo, hi int) error { return nil },
+		Workers(4), Grain(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := forSerial.Value() - serial1; got != 0 {
+		t.Errorf("concurrent call took the serial path %d times", got)
+	}
+	if got := forTasks.Value() - tasks0; got != 18 {
+		t.Errorf("tasks delta = %d, want 18", got)
+	}
+	if got := forWorkers.Value(); got != 4 {
+		t.Errorf("worker gauge = %d, want 4", got)
+	}
+
+	// n <= 0 returns before counting anything.
+	calls1 := forCalls.Value()
+	if err := For(context.Background(), 0, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := forCalls.Value() - calls1; got != 0 {
+		t.Errorf("empty call counted %d calls", got)
+	}
+}

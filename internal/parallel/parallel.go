@@ -25,6 +25,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"decamouflage/internal/obs"
+)
+
+// Substrate counters, resolved once: calls into For, calls that took the
+// serial fallback, total chunks dispatched, and the worker count of the
+// most recent concurrent call. Recording is a few atomic ops per For call
+// (not per chunk), invisible next to the numeric work each call fans out.
+var (
+	forCalls   = obs.C("parallel.for.calls")
+	forSerial  = obs.C("parallel.for.serial")
+	forTasks   = obs.C("parallel.tasks")
+	forWorkers = obs.G("parallel.workers")
 )
 
 type config struct {
@@ -116,7 +129,10 @@ func For(ctx context.Context, n int, fn func(lo, hi int) error, opts ...Option) 
 	if workers > chunks {
 		workers = chunks
 	}
+	forCalls.Inc()
+	forTasks.Add(int64(chunks))
 	if workers <= 1 {
+		forSerial.Inc()
 		// Serial fallback: same chunk boundaries, same fn, calling goroutine.
 		for lo := 0; lo < n; lo += cfg.grain {
 			if err := ctx.Err(); err != nil {
@@ -142,6 +158,7 @@ func For(ctx context.Context, n int, fn func(lo, hi int) error, opts ...Option) 
 		firstErr error
 		errChunk int64
 	)
+	forWorkers.Set(int64(workers))
 	record := func(chunk int64, err error) {
 		mu.Lock()
 		if firstErr == nil || chunk < errChunk {

@@ -1,8 +1,8 @@
 package scaling
 
 import (
-	"math"
-	"sync"
+	"decamouflage/internal/cache"
+	"decamouflage/internal/obs"
 )
 
 // coeffCacheCap bounds the global coefficient cache. Detection pipelines
@@ -23,80 +23,30 @@ type coeffKey struct {
 	coord     CoordMode
 }
 
-type coeffEntry struct {
-	coeff *Coeff
-	used  uint64 // logical access clock, for LRU eviction
-}
-
-var coeffCache = struct {
-	sync.Mutex
-	m     map[coeffKey]*coeffEntry
-	clock uint64
-}{m: make(map[coeffKey]*coeffEntry)}
+// coeffCache memoizes coefficient operators per geometry, reporting
+// hit/miss/eviction counts as the "scaling.coeff" cache metrics.
+var coeffCache = cache.NewLRU[coeffKey, *Coeff](coeffCacheCap, obs.NewCacheStats("scaling.coeff"))
 
 // CoeffFor returns the cached coefficient operator for resampling length n
 // to length m under opts, building and caching it on first use. The
 // returned *Coeff is shared: callers must treat it as immutable (every
 // consumer in this repository only reads Rows/Idx/W). The cache holds at
 // most coeffCacheCap entries and evicts the least recently used; evicted
-// operators remain valid for callers still holding them.
+// operators remain valid for callers still holding them. Construction runs
+// outside the cache lock, so concurrent callers may briefly build the same
+// operator twice; the insert race keeps one instance for everyone.
 func CoeffFor(n, m int, opts Options) (*Coeff, error) {
 	key := coeffKey{n: n, m: m, algorithm: opts.Algorithm, antialias: opts.Antialias, coord: opts.Coord}
 	if key.coord == 0 {
 		key.coord = HalfPixel
 	}
-	coeffCache.Lock()
-	if e, ok := coeffCache.m[key]; ok {
-		coeffCache.clock++
-		e.used = coeffCache.clock
-		c := e.coeff
-		coeffCache.Unlock()
-		return c, nil
-	}
-	coeffCache.Unlock()
-
-	// Build outside the lock: construction is the expensive part, and
-	// holding the lock across it would serialize unrelated geometries.
-	c, err := BuildCoeff(n, m, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	coeffCache.Lock()
-	defer coeffCache.Unlock()
-	if e, ok := coeffCache.m[key]; ok {
-		// Lost the build race; keep the incumbent so all callers share one
-		// instance.
-		coeffCache.clock++
-		e.used = coeffCache.clock
-		return e.coeff, nil
-	}
-	coeffCache.clock++
-	coeffCache.m[key] = &coeffEntry{coeff: c, used: coeffCache.clock}
-	if len(coeffCache.m) > coeffCacheCap {
-		var oldest coeffKey
-		var oldestUsed uint64 = math.MaxUint64
-		for k, e := range coeffCache.m {
-			if e.used < oldestUsed {
-				oldest, oldestUsed = k, e.used
-			}
-		}
-		delete(coeffCache.m, oldest)
-	}
-	return c, nil
+	return coeffCache.GetOrBuild(key, func() (*Coeff, error) {
+		return BuildCoeff(n, m, opts)
+	})
 }
 
 // coeffCacheLen reports the current cache population (for tests).
-func coeffCacheLen() int {
-	coeffCache.Lock()
-	defer coeffCache.Unlock()
-	return len(coeffCache.m)
-}
+func coeffCacheLen() int { return coeffCache.Len() }
 
 // resetCoeffCache empties the cache (for tests).
-func resetCoeffCache() {
-	coeffCache.Lock()
-	defer coeffCache.Unlock()
-	coeffCache.m = make(map[coeffKey]*coeffEntry)
-	coeffCache.clock = 0
-}
+func resetCoeffCache() { coeffCache.Reset() }

@@ -1,0 +1,78 @@
+package scaling
+
+import (
+	"testing"
+
+	"decamouflage/internal/obs"
+)
+
+// TestCoeffCacheStats pins the hit/miss/eviction counters the coefficient
+// cache reports under a deterministic serial access sequence. Counters
+// live on the process-global obs registry, so the test asserts deltas.
+func TestCoeffCacheStats(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	if !obs.Enabled() {
+		t.Skip("observability compiled out (noobs)")
+	}
+	resetCoeffCache()
+	defer resetCoeffCache()
+
+	hits := obs.C("scaling.coeff.hits")
+	misses := obs.C("scaling.coeff.misses")
+	evictions := obs.C("scaling.coeff.evictions")
+	size := obs.G("scaling.coeff.size")
+	h0, m0 := hits.Value(), misses.Value()
+
+	if _, err := CoeffFor(64, 16, Options{Algorithm: Bilinear}); err != nil { // miss
+		t.Fatal(err)
+	}
+	// The zero-value coordinate mode normalizes to HalfPixel, so the
+	// explicit form shares the entry: hit.
+	if _, err := CoeffFor(64, 16, Options{Algorithm: Bilinear, Coord: HalfPixel}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoeffFor(16, 64, Options{Algorithm: Bilinear}); err != nil { // swapped dims: miss
+		t.Fatal(err)
+	}
+	if got := hits.Value() - h0; got != 1 {
+		t.Fatalf("hits delta = %d, want 1", got)
+	}
+	if got := misses.Value() - m0; got != 2 {
+		t.Fatalf("misses delta = %d, want 2", got)
+	}
+	if got := size.Value(); got != int64(coeffCacheLen()) {
+		t.Fatalf("size gauge = %d, cache len = %d", got, coeffCacheLen())
+	}
+
+	// A failed build must count as a miss but never evict or grow the
+	// cache.
+	m1, e1, len1 := misses.Value(), evictions.Value(), coeffCacheLen()
+	if _, err := CoeffFor(0, 4, Options{Algorithm: Bilinear}); err == nil {
+		t.Fatal("CoeffFor accepted n=0")
+	}
+	if got := misses.Value() - m1; got != 1 {
+		t.Fatalf("failed-build misses delta = %d, want 1", got)
+	}
+	if got := evictions.Value() - e1; got != 0 {
+		t.Fatalf("failed build recorded %d evictions", got)
+	}
+	if got := coeffCacheLen(); got != len1 {
+		t.Fatalf("failed build changed cache len %d -> %d", len1, got)
+	}
+
+	// Flooding one entry past the cap evicts exactly one entry.
+	resetCoeffCache()
+	e2 := evictions.Value()
+	for n := 2; n < 2+coeffCacheCap+1; n++ {
+		if _, err := CoeffFor(n, 7, Options{Algorithm: Bilinear}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := evictions.Value() - e2; got != 1 {
+		t.Fatalf("evictions delta = %d, want 1", got)
+	}
+	if got := coeffCacheLen(); got != coeffCacheCap {
+		t.Fatalf("cache len = %d, want %d", got, coeffCacheCap)
+	}
+}
