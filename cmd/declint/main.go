@@ -8,14 +8,23 @@
 //	go run ./cmd/declint ./...            # analyze the whole module
 //	go run ./cmd/declint -checks floateq ./...
 //	go run ./cmd/declint -list            # list registered checks
-//	go run ./cmd/declint path/to/dir      # analyze a directory as its own
-//	                                      # module root (testdata fixtures)
+//	go run ./cmd/declint internal/analysis cmd/declint
+//	                                      # analyze subtrees of the enclosing
+//	                                      # module (self-check mode)
+//	go run ./cmd/declint path/to/testdata/fixture
+//	                                      # analyze a fixture as its own
+//	                                      # module root
+//	go run ./cmd/declint -json ./...      # machine-readable findings,
+//	                                      # suppressed ones included
+//	go run ./cmd/declint -github ./...    # GitHub Actions ::error annotations
+//	go run ./cmd/declint -cache DIR ./... # reuse function-summary cache
 //
 // Findings are reported as file:line:col: check: message. Intentional
 // violations are annotated in place with //declint:ignore <check> <reason>.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,8 +44,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	listFlag := fs.Bool("list", false, "list registered checks and exit")
+	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array (suppressed findings included, marked)")
+	githubFlag := fs.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	cacheFlag := fs.String("cache", "", "directory for the function-summary cache (empty: no cache)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: declint [-checks c1,c2] [-list] [./... | dir ...]")
+		fmt.Fprintln(stderr, "usage: declint [-checks c1,c2] [-list] [-json|-github] [-cache dir] [./... | dir ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -48,47 +60,144 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *jsonFlag && *githubFlag {
+		fmt.Fprintln(stderr, "declint: -json and -github are mutually exclusive")
+		return 2
+	}
 
 	cfg := analysis.DefaultConfig()
 	if *checksFlag != "" {
 		cfg.Checks = strings.Split(*checksFlag, ",")
 	}
+	cfg.CacheDir = *cacheFlag
+	// JSON consumers see what was waived and why the tree still passes;
+	// suppressed findings never affect the exit code.
+	cfg.IncludeSuppressed = *jsonFlag
 
 	targets := fs.Args()
 	if len(targets) == 0 {
 		targets = []string{"./..."}
 	}
-	total := 0
+	// Findings are computed once per module root and then filtered per
+	// target, so `declint internal/analysis cmd/declint` loads the module a
+	// single time.
+	byRoot := map[string][]analysis.Finding{}
+	var all []analysis.Finding
+	active := 0
 	for _, target := range targets {
-		root := target
-		if target == "./..." || target == "..." {
-			var err error
-			root, err = moduleRoot(".")
+		root, filter, err := resolveTarget(target)
+		if err != nil {
+			fmt.Fprintln(stderr, "declint:", err)
+			return 2
+		}
+		findings, ok := byRoot[root]
+		if !ok {
+			pkgs, err := analysis.LoadModule(root)
 			if err != nil {
 				fmt.Fprintln(stderr, "declint:", err)
 				return 2
 			}
-		}
-		pkgs, err := analysis.LoadModule(root)
-		if err != nil {
-			fmt.Fprintln(stderr, "declint:", err)
-			return 2
-		}
-		findings, err := analysis.Run(pkgs, cfg)
-		if err != nil {
-			fmt.Fprintln(stderr, "declint:", err)
-			return 2
+			findings, err = analysis.Run(pkgs, cfg)
+			if err != nil {
+				fmt.Fprintln(stderr, "declint:", err)
+				return 2
+			}
+			byRoot[root] = findings
 		}
 		for _, f := range findings {
+			if filter != "" && !underDir(f.Pos.Filename, filter) {
+				continue
+			}
+			all = append(all, f)
+			if !f.Suppressed {
+				active++
+			}
+		}
+	}
+
+	switch {
+	case *jsonFlag:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []analysis.Finding{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "declint:", err)
+			return 2
+		}
+	case *githubFlag:
+		for _, f := range all {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s: %s\n",
+				relToCwd(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+		}
+	default:
+		for _, f := range all {
 			fmt.Fprintln(stdout, f.String())
 		}
-		total += len(findings)
 	}
-	if total > 0 {
-		fmt.Fprintf(stderr, "declint: %d finding(s)\n", total)
+	if active > 0 {
+		fmt.Fprintf(stderr, "declint: %d finding(s)\n", active)
 		return 1
 	}
 	return 0
+}
+
+// resolveTarget maps one CLI target to (module root, subtree filter).
+// "./..." means the enclosing module, whole. A path with a testdata
+// component is a self-contained fixture module analyzed as its own root.
+// Any other directory is a subtree of its enclosing go.mod module: the
+// module is loaded whole (so cross-package dataflow still sees everything)
+// and findings are filtered to the subtree.
+func resolveTarget(target string) (root, filter string, err error) {
+	if target == "./..." || target == "..." {
+		root, err = moduleRoot(".")
+		return root, "", err
+	}
+	abs, err := filepath.Abs(target)
+	if err != nil {
+		return "", "", err
+	}
+	info, err := os.Stat(abs)
+	if err != nil {
+		return "", "", err
+	}
+	if !info.IsDir() {
+		return "", "", fmt.Errorf("target %s is not a directory", target)
+	}
+	for _, part := range strings.Split(filepath.ToSlash(abs), "/") {
+		if part == "testdata" {
+			return abs, "", nil
+		}
+	}
+	root, err = moduleRoot(abs)
+	if err != nil {
+		return "", "", err
+	}
+	if root == abs {
+		return root, "", nil
+	}
+	return root, abs, nil
+}
+
+// underDir reports whether path lies inside dir.
+func underDir(path, dir string) bool {
+	rel, err := filepath.Rel(dir, path)
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+}
+
+// relToCwd renders path relative to the working directory when possible —
+// the form GitHub annotations need to attach to checkout files.
+func relToCwd(path string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil {
+		return path
+	}
+	return filepath.ToSlash(rel)
 }
 
 // moduleRoot walks up from dir to the nearest directory containing go.mod.

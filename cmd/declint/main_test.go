@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"decamouflage/internal/analysis"
 )
 
 const fixtures = "../../internal/analysis/testdata"
@@ -30,6 +34,10 @@ func TestViolatingFixturesExitNonzero(t *testing.T) {
 		{"naninput", "naninput", "api.go"},
 		{"errdrop", "errdrop", "drop.go"},
 		{"suppress", "declint", "bad.go"},
+		{"parsafe", "parsafe", "par.go"},
+		{"hotalloc", "hotalloc", "hot.go"},
+		{"detprop", "detprop", "resize.go"},
+		{"ctxflow", "ctxflow", "run.go"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -73,14 +81,129 @@ func TestUnknownCheckFlag(t *testing.T) {
 	}
 }
 
+// TestListFlag pins the -list output exactly: check names are suppression
+// syntax and CI greps this output, so any drift is a deliberate API change.
 func TestListFlag(t *testing.T) {
 	code, stdout, _ := runDeclint(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"noraw-go", "determinism", "floateq", "naninput", "errdrop"} {
-		if !strings.Contains(stdout, name) {
-			t.Errorf("-list output lacks %s:\n%s", name, stdout)
+	want := strings.Join([]string{
+		"noraw-go     raw goroutines / WaitGroup pools outside internal/parallel",
+		"determinism  time.Now, math/rand, map-ordered output in kernel packages",
+		"floateq      exact ==/!= on float operands",
+		"naninput     exported tensor functions without NaN/Inf guard or nan-ok marker",
+		"errdrop      _ = discards of error-returning calls",
+		"obsonly      profiling/exposition imports outside internal/obs and cmd/",
+		"parsafe      parallel closures writing captured state at non-chunk-derived indices",
+		"hotalloc     allocations reachable from //declint:hot kernel functions",
+		"detprop      transitive time/rand/map-order taint reaching kernel packages",
+		"ctxflow      dropped or re-minted contexts in internal library code",
+		"",
+	}, "\n")
+	if stdout != want {
+		t.Errorf("-list output changed\ngot:\n%s\nwant:\n%s", stdout, want)
+	}
+}
+
+// TestJSONOutput: -json emits a decodable array carrying suppressed findings
+// (marked, not counted) alongside the live ones.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runDeclint(t, "-json", filepath.Join(fixtures, "hotalloc"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	live, suppressed := 0, 0
+	for _, f := range findings {
+		if f.Check == "" || f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Errorf("finding missing fields: %+v", f)
 		}
+		if f.Suppressed {
+			suppressed++
+		} else {
+			live++
+		}
+	}
+	if live != 4 {
+		t.Errorf("live findings = %d, want 4", live)
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the waived Scratch make)", suppressed)
+	}
+}
+
+// TestJSONCleanTreeIsEmptyArray: a clean target yields `[]`, not `null`.
+func TestJSONCleanTreeIsEmptyArray(t *testing.T) {
+	code, stdout, _ := runDeclint(t, "-json", filepath.Join(fixtures, "callgraph"))
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s", code, stdout)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean-tree JSON = %q, want []", strings.TrimSpace(stdout))
+	}
+}
+
+// TestGitHubOutput: -github renders one ::error annotation per finding.
+func TestGitHubOutput(t *testing.T) {
+	code, stdout, _ := runDeclint(t, "-github", filepath.Join(fixtures, "errdrop"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("annotation count = %d, want 2:\n%s", len(lines), stdout)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=") ||
+			!strings.Contains(line, ",line=") || !strings.Contains(line, "::errdrop: ") {
+			t.Errorf("malformed annotation: %s", line)
+		}
+	}
+}
+
+func TestJSONGitHubExclusive(t *testing.T) {
+	code, _, stderr := runDeclint(t, "-json", "-github", filepath.Join(fixtures, "errdrop"))
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("exit code = %d (stderr %q), want 2 with exclusivity error", code, stderr)
+	}
+}
+
+// TestSubtreeTargets: a non-testdata directory is analyzed as a subtree of
+// its enclosing module — the whole module loads (dataflow checks need the
+// full graph) but findings and exit status are scoped to the subtree. Two
+// subtree targets of the same module share one load.
+func TestSubtreeTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the entire enclosing module")
+	}
+	code, stdout, stderr := runDeclint(t, ".", "../../internal/analysis")
+	if code != 0 {
+		t.Fatalf("self-check exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("self-check produced findings:\n%s", stdout)
+	}
+}
+
+// TestCacheFlagPopulates: -cache writes summary files and leaves findings
+// unchanged on the warm rerun.
+func TestCacheFlagPopulates(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(fixtures, "hotalloc")
+	code1, out1, _ := runDeclint(t, "-cache", dir, target)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("cold run wrote no cache entries")
+	}
+	code2, out2, _ := runDeclint(t, "-cache", dir, target)
+	if code1 != code2 || out1 != out2 {
+		t.Errorf("warm run diverged: code %d vs %d\ncold:\n%s\nwarm:\n%s", code1, code2, out1, out2)
 	}
 }

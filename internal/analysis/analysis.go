@@ -21,6 +21,28 @@
 //	obsonly      no runtime/pprof, net/http/pprof, or expvar imports outside
 //	             internal/obs and the cmd/ entry points
 //
+// On top of the per-package walks sits a dataflow layer (effects.go,
+// callgraph.go): an intraprocedural effects pass summarizes every function
+// (allocations, forbidden sources, captured writes, context facts, call
+// edges), and a whole-module call graph links the summaries — static calls,
+// method values, and interface dispatch resolved to module-defined
+// implementers. Four checks run on that graph:
+//
+//	parsafe      closures passed to parallel.For/Do may only write captured
+//	             slices/maps at indices derived from the chunk bounds lo..hi
+//	             (or the task index), and never captured scalars
+//	hotalloc     //declint:hot functions and their whole static call closure
+//	             must be allocation-free
+//	detprop      transitive determinism: no call chain from a kernel package
+//	             may reach time.Now, math/rand, or map-ordered output
+//	ctxflow      internal functions receiving a ctx must use it and must not
+//	             mint context.Background/TODO; only exported entry points root
+//	             contexts
+//
+// Function summaries are cached on disk (Config.CacheDir) keyed by the
+// package's transitive content hash, so warm full-repo runs skip the
+// effects pass entirely.
+//
 // Intentional violations are annotated in place:
 //
 //	//declint:ignore <check> <reason>
@@ -35,11 +57,15 @@ import (
 	"sort"
 )
 
-// Finding is one rule violation at a position.
+// Finding is one rule violation at a position. Suppressed is set (instead
+// of the finding being dropped) when an //declint:ignore directive covers
+// it and Config.IncludeSuppressed is on, so machine-readable output can
+// show what was waived and why the tree is still clean.
 type Finding struct {
-	Check string
-	Pos   token.Position
-	Msg   string
+	Check      string         `json:"check"`
+	Pos        token.Position `json:"pos"`
+	Msg        string         `json:"msg"`
+	Suppressed bool           `json:"suppressed,omitempty"`
 }
 
 // String renders the canonical file:line:col form findings are reported in.
@@ -77,6 +103,16 @@ type Config struct {
 	// ObsOnlyImports are the import paths restricted to ObsPkg and the
 	// cmd/ entry points.
 	ObsOnlyImports []string
+	// TaintExemptPkgs are packages detprop's taint traversal treats as
+	// barriers: observability reads clocks to stamp spans but never feeds
+	// numeric kernel output, so reaching it is not nondeterminism.
+	TaintExemptPkgs []string
+	// CacheDir, when non-empty, holds the per-package function-summary
+	// JSON files keyed by transitive content hash. Empty disables caching.
+	CacheDir string
+	// IncludeSuppressed keeps ignored findings in Run's result with
+	// Finding.Suppressed set instead of dropping them.
+	IncludeSuppressed bool
 }
 
 // DefaultConfig returns the configuration declint runs with on this module.
@@ -98,25 +134,33 @@ func DefaultConfig() Config {
 		ObsOnlyImports: []string{
 			"runtime/pprof", "net/http/pprof", "expvar",
 		},
+		TaintExemptPkgs: []string{"internal/obs"},
 	}
 }
 
-// A check inspects one package under a config and reports findings.
+// A check inspects code under a config and reports findings. Per-package
+// checks set run; whole-module dataflow checks set runModule and receive
+// the call-graph Index, which Run builds once and shares.
 type check struct {
-	name string
-	doc  string
-	run  func(pkg *Package, cfg Config) []Finding
+	name      string
+	doc       string
+	run       func(pkg *Package, cfg Config) []Finding
+	runModule func(pkgs []*Package, cfg Config, ix *Index) []Finding
 }
 
 // registry holds every check in report order. Names are part of the
 // suppression syntax, so they are stable API.
 var registry = []check{
-	{"noraw-go", "raw goroutines / WaitGroup pools outside internal/parallel", checkNoRawGo},
-	{"determinism", "time.Now, math/rand, map-ordered output in kernel packages", checkDeterminism},
-	{"floateq", "exact ==/!= on float operands", checkFloatEq},
-	{"naninput", "exported tensor functions without NaN/Inf guard or nan-ok marker", checkNaNInput},
-	{"errdrop", "_ = discards of error-returning calls", checkErrDrop},
-	{"obsonly", "profiling/exposition imports outside internal/obs and cmd/", checkObsOnly},
+	{name: "noraw-go", doc: "raw goroutines / WaitGroup pools outside internal/parallel", run: checkNoRawGo},
+	{name: "determinism", doc: "time.Now, math/rand, map-ordered output in kernel packages", run: checkDeterminism},
+	{name: "floateq", doc: "exact ==/!= on float operands", run: checkFloatEq},
+	{name: "naninput", doc: "exported tensor functions without NaN/Inf guard or nan-ok marker", run: checkNaNInput},
+	{name: "errdrop", doc: "_ = discards of error-returning calls", run: checkErrDrop},
+	{name: "obsonly", doc: "profiling/exposition imports outside internal/obs and cmd/", run: checkObsOnly},
+	{name: "parsafe", doc: "parallel closures writing captured state at non-chunk-derived indices", run: checkParSafe},
+	{name: "hotalloc", doc: "allocations reachable from //declint:hot kernel functions", runModule: checkHotAlloc},
+	{name: "detprop", doc: "transitive time/rand/map-order taint reaching kernel packages", runModule: checkDetProp},
+	{name: "ctxflow", doc: "dropped or re-minted contexts in internal library code", runModule: checkCtxFlow},
 }
 
 // Checks lists the registered check names and one-line descriptions.
@@ -160,19 +204,53 @@ func Run(pkgs []*Package, cfg Config) ([]Finding, error) {
 		known[c.name] = true
 	}
 
+	// Suppressions are collected globally before any check runs: module
+	// checks report findings in whichever package the offending line lives,
+	// which need not be the package that triggered the traversal.
+	sup := suppressions{}
 	var out []Finding
 	for _, pkg := range pkgs {
-		sup, bad := collectSuppressions(pkg, known)
+		psup, bad := collectSuppressions(pkg, known)
 		out = append(out, bad...)
-		for _, c := range registry {
-			if !enabled[c.name] {
-				continue
-			}
-			for _, f := range c.run(pkg, cfg) {
-				if !sup.suppressed(f) {
+		for file, byLine := range psup {
+			sup[file] = byLine
+		}
+	}
+
+	needIndex := false
+	for _, c := range registry {
+		if enabled[c.name] && c.runModule != nil {
+			needIndex = true
+		}
+	}
+	var ix *Index
+	if needIndex {
+		ix = BuildIndex(pkgs, cfg)
+	}
+
+	keep := func(fs []Finding) {
+		for _, f := range fs {
+			if sup.suppressed(f) {
+				if cfg.IncludeSuppressed {
+					f.Suppressed = true
 					out = append(out, f)
 				}
+				continue
 			}
+			out = append(out, f)
+		}
+	}
+	for _, c := range registry {
+		if !enabled[c.name] {
+			continue
+		}
+		if c.run != nil {
+			for _, pkg := range pkgs {
+				keep(c.run(pkg, cfg))
+			}
+		}
+		if c.runModule != nil {
+			keep(c.runModule(pkgs, cfg, ix))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

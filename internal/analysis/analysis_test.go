@@ -101,6 +101,45 @@ func TestGoldenFindings(t *testing.T) {
 			},
 		},
 		{
+			fixture: "parsafe",
+			want: []string{
+				"internal/filtering/par.go:16 parsafe", // out[0] from every chunk
+				"internal/filtering/par.go:37 parsafe", // captured scalar accumulation
+				"internal/filtering/par.go:72 parsafe", // captured counter in a Do task
+				// Scale (derived indices), Bands (chunk-owned alias), the
+				// task-indexed and constant-index Do tasks, the substrate
+				// package itself, and par_test.go are all silent.
+			},
+		},
+		{
+			fixture: "hotalloc",
+			want: []string{
+				"internal/filtering/hot.go:21 hotalloc",  // make in hot Window
+				"internal/filtering/hot.go:36 hotalloc",  // closure in hot Apply
+				"internal/filtering/hot.go:46 hotalloc",  // boxing in hot Report
+				"internal/kernels/kernels.go:7 hotalloc", // reachable from hot Sweep
+				// Scratch is suppressed with a reason; Clean is allocation-free;
+				// Cold is unmarked.
+			},
+		},
+		{
+			fixture: "detprop",
+			want: []string{
+				"internal/scaling/resize.go:14 detprop", // two hops to time.Now
+				"internal/scaling/resize.go:23 detprop", // one hop to math/rand
+				// Traced reaches the clock only through the exempt obs barrier.
+			},
+		},
+		{
+			fixture: "ctxflow",
+			want: []string{
+				"internal/detect/run.go:22 ctxflow", // step never uses ctx
+				"internal/detect/run.go:28 ctxflow", // unexported mint of Background
+				"internal/detect/run.go:36 ctxflow", // fork re-mints despite receiving ctx
+				// Run is an exported root; scan threads; skip names its param _.
+			},
+		},
+		{
 			fixture: "suppress",
 			want: []string{
 				"internal/scaling/bad.go:7 declint",  // directive names no check
@@ -152,7 +191,10 @@ func TestUnknownCheckRejected(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{"noraw-go", "determinism", "floateq", "naninput", "errdrop", "obsonly"}
+	want := []string{
+		"noraw-go", "determinism", "floateq", "naninput", "errdrop", "obsonly",
+		"parsafe", "hotalloc", "detprop", "ctxflow",
+	}
 	checks := Checks()
 	if len(checks) != len(want) {
 		t.Fatalf("registry has %d checks, want %d", len(checks), len(want))

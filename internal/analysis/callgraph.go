@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// summarySchema versions the on-disk summary format; bump it whenever
+// FuncEffects or the effects pass changes so stale caches self-invalidate.
+const summarySchema = 1
+
+// PkgSummary is the cached unit: every function summary of one package,
+// keyed on disk by the package's transitive content hash.
+type PkgSummary struct {
+	Schema int            `json:"schema"`
+	Path   string         `json:"path"`
+	Funcs  []*FuncEffects `json:"funcs"`
+}
+
+// Index is the whole-module call graph: function summaries by ID, interface
+// method keys resolved to their module-defined implementers, and memoized
+// reachability. Interface resolution happens here — against the freshly
+// type-checked module, never inside cached summaries — so adding an
+// implementer in package B correctly invalidates nothing in package A.
+type Index struct {
+	Funcs map[string]*FuncEffects
+	ids   []string            // sorted, for deterministic iteration
+	impls map[string][]string // "iface:<pkg>.<iface>.<method>" -> fn IDs
+	reach map[string][]string
+}
+
+// IDs returns every function ID in sorted order.
+func (ix *Index) IDs() []string { return ix.ids }
+
+// Implementers returns the function IDs an interface call key dispatches to.
+func (ix *Index) Implementers(key string) []string { return ix.impls[key] }
+
+// BuildIndex computes (or loads from cfg.CacheDir) the per-package function
+// summaries for every non-test unit and links them into a call graph.
+func BuildIndex(pkgs []*Package, cfg Config) *Index {
+	ix := &Index{
+		Funcs: map[string]*FuncEffects{},
+		impls: map[string][]string{},
+		reach: map[string][]string{},
+	}
+	hashes := newHashCache(pkgs)
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Path, "_test") {
+			continue
+		}
+		for _, fx := range packageEffects(pkg, cfg.CacheDir, hashes) {
+			if _, dup := ix.Funcs[fx.ID]; dup {
+				continue
+			}
+			ix.Funcs[fx.ID] = fx
+			ix.ids = append(ix.ids, fx.ID)
+		}
+	}
+	sort.Strings(ix.ids)
+	ix.resolveInterfaces(pkgs)
+	return ix
+}
+
+// packageEffects returns the package's summaries, consulting the on-disk
+// cache when enabled. Cache misses and IO failures silently fall back to
+// recomputation: the cache is a performance feature, never a correctness
+// dependency.
+func packageEffects(pkg *Package, cacheDir string, hashes *hashCache) []*FuncEffects {
+	if cacheDir == "" {
+		return computePackageEffects(pkg)
+	}
+	hash := hashes.hashOf(pkg.Path)
+	if hash == "" {
+		return computePackageEffects(pkg)
+	}
+	file := filepath.Join(cacheDir, hash+".json")
+	if data, err := os.ReadFile(file); err == nil {
+		var s PkgSummary
+		if json.Unmarshal(data, &s) == nil && s.Schema == summarySchema && s.Path == pkg.Path {
+			return s.Funcs
+		}
+	}
+	funcs := computePackageEffects(pkg)
+	writeSummary(file, PkgSummary{Schema: summarySchema, Path: pkg.Path, Funcs: funcs})
+	return funcs
+}
+
+// writeSummary persists one package summary best-effort, via a temp file so
+// a concurrent reader never sees a torn write.
+func writeSummary(file string, s PkgSummary) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(file), 0o755); err != nil {
+		return
+	}
+	tmp := file + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, file); err != nil {
+		os.Remove(tmp)
+	}
+}
+
+// hashCache computes per-package content hashes that also fold in the
+// hashes of module-internal imports (transitively) plus the toolchain
+// version. A summary's validity depends on its imports' signatures — an
+// interface parameter appearing two packages away changes this package's
+// boxing sites — so the key must cover the whole compile-time closure.
+type hashCache struct {
+	byPath map[string]*Package
+	memo   map[string]string
+}
+
+func newHashCache(pkgs []*Package) *hashCache {
+	h := &hashCache{byPath: map[string]*Package{}, memo: map[string]string{}}
+	for _, pkg := range pkgs {
+		if !strings.HasSuffix(pkg.Path, "_test") {
+			h.byPath[pkg.Path] = pkg
+		}
+	}
+	return h
+}
+
+// hashOf returns the hex digest for the package, or "" when any source file
+// is unreadable (which simply disables caching for that package).
+func (h *hashCache) hashOf(path string) string {
+	if v, ok := h.memo[path]; ok {
+		return v
+	}
+	h.memo[path] = "" // cycle/failure sentinel while computing
+	pkg := h.byPath[path]
+	if pkg == nil {
+		return ""
+	}
+	hash := sha256.New()
+	hash.Write([]byte(runtime.Version()))
+	hash.Write([]byte{0, byte(summarySchema), 0})
+	hash.Write([]byte(path))
+	var names []string
+	byName := map[string]*File{}
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		names = append(names, f.Filename)
+		byName[f.Filename] = f
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return ""
+		}
+		hash.Write([]byte{0})
+		hash.Write([]byte(name))
+		hash.Write([]byte{0})
+		hash.Write(data)
+	}
+	if pkg.Pkg != nil {
+		var imps []string
+		for _, imp := range pkg.Pkg.Imports() {
+			if _, mod := h.byPath[imp.Path()]; mod {
+				imps = append(imps, imp.Path())
+			}
+		}
+		sort.Strings(imps)
+		for _, imp := range imps {
+			sub := h.hashOf(imp)
+			if sub == "" {
+				return ""
+			}
+			hash.Write([]byte{1})
+			hash.Write([]byte(sub))
+		}
+	}
+	v := hex.EncodeToString(hash.Sum(nil))
+	h.memo[path] = v
+	return v
+}
+
+// resolveInterfaces maps every "iface:" call key referenced by a summary to
+// the module-defined concrete types that implement the interface, by
+// structural method-set checks against the freshly loaded types. Types
+// declared in test files do not register as implementers: test fakes must
+// not add edges to production reachability.
+func (ix *Index) resolveInterfaces(pkgs []*Package) {
+	need := map[string]bool{}
+	for _, fx := range ix.Funcs {
+		for _, c := range fx.Calls {
+			if strings.HasPrefix(c.Callee, "iface:") {
+				need[c.Callee] = true
+			}
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+
+	type namedType struct {
+		named *types.Named
+		pkg   *types.Package
+	}
+	ifaces := map[string]*types.Interface{} // "<pkg>.<name>"
+	var concrete []namedType
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Path, "_test") || pkg.Pkg == nil {
+			continue
+		}
+		nonTest := map[string]bool{}
+		for _, f := range pkg.Files {
+			if !f.Test {
+				nonTest[f.Filename] = true
+			}
+		}
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if !nonTest[pkg.Fset.Position(tn.Pos()).Filename] {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				ifaces[pkg.Pkg.Path()+"."+name] = iface
+			} else {
+				concrete = append(concrete, namedType{named, pkg.Pkg})
+			}
+		}
+	}
+
+	var keys []string
+	for k := range need {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		rest := strings.TrimPrefix(key, "iface:")
+		mdot := strings.LastIndex(rest, ".")
+		if mdot < 0 {
+			continue
+		}
+		method := rest[mdot+1:]
+		qual := rest[:mdot] // "<pkg>.<iface>"
+		iface, ok := ifaces[qual]
+		if !ok {
+			continue // interface defined outside the module: opaque dispatch
+		}
+		var targets []string
+		for _, nt := range concrete {
+			recv := types.Type(nt.named)
+			if !types.Implements(recv, iface) {
+				recv = types.NewPointer(nt.named)
+				if !types.Implements(recv, iface) {
+					continue
+				}
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(nt.named), true, nt.pkg, method)
+			if fn, ok := obj.(*types.Func); ok {
+				if id := funcIDOf(fn); id != "" {
+					targets = append(targets, id)
+				}
+			}
+		}
+		sort.Strings(targets)
+		targets = dedupSorted(targets)
+		ix.impls[key] = targets
+	}
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || s[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// expand resolves one call-edge key to the function IDs it can reach:
+// itself for a static edge whose target is summarized, every registered
+// implementer for an interface edge.
+func (ix *Index) expand(callee string) []string {
+	if id, ok := strings.CutPrefix(callee, "fn:"); ok {
+		if _, known := ix.Funcs[id]; known {
+			return []string{id}
+		}
+		return nil
+	}
+	return ix.impls[callee]
+}
+
+// Reachable returns the sorted set of function IDs statically reachable
+// from id, including id itself, following both direct and interface edges.
+func (ix *Index) Reachable(id string) []string {
+	if r, ok := ix.reach[id]; ok {
+		return r
+	}
+	seen := map[string]bool{id: true}
+	queue := []string{id}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		fx := ix.Funcs[cur]
+		if fx == nil {
+			continue
+		}
+		for _, c := range fx.Calls {
+			for _, next := range ix.expand(c.Callee) {
+				if !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	ix.reach[id] = out
+	return out
+}

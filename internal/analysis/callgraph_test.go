@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadIndex builds the call-graph index over one fixture module.
+func loadIndex(t *testing.T, name string, cfg Config) *Index {
+	t.Helper()
+	pkgs, err := LoadModule(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", name, err)
+	}
+	return BuildIndex(pkgs, cfg)
+}
+
+// TestCallGraphEdges pins how the index resolves each call shape: plain
+// static calls, calls through func-typed locals with multiple candidates,
+// method values, interface dispatch to every module-defined implementer,
+// cross-package edges, and mutual recursion.
+func TestCallGraphEdges(t *testing.T) {
+	ix := loadIndex(t, "callgraph", DefaultConfig())
+	const g = "callgraph/internal/graph."
+
+	impls := ix.Implementers("iface:" + g + "Scorer.Score")
+	wantImpls := []string{g + "(Linear).Score", g + "(Offset).Score"}
+	if !reflect.DeepEqual(impls, wantImpls) {
+		t.Errorf("Implementers(Scorer.Score) = %v, want %v", impls, wantImpls)
+	}
+
+	cases := []struct {
+		root string
+		want []string // exact sorted reachable set, root included
+	}{
+		{ // interface dispatch fans out to every implementer
+			root: g + "Eval",
+			want: []string{g + "(Linear).Score", g + "(Offset).Score", g + "Eval"},
+		},
+		{ // func-typed local bound to two candidates reaches both
+			root: g + "Apply",
+			want: []string{g + "Apply", g + "Double", g + "Halve"},
+		},
+		{ // method value resolves to the concrete method
+			root: g + "Bind",
+			want: []string{g + "(Linear).Score", g + "Bind"},
+		},
+		{ // mutual recursion terminates and covers the cycle
+			root: g + "Even",
+			want: []string{g + "Even", g + "Odd"},
+		},
+		{
+			root: g + "Odd",
+			want: []string{g + "Even", g + "Odd"},
+		},
+		{ // cross-package static edge plus the interface fan-out behind it
+			root: "callgraph/internal/score.Best",
+			want: []string{
+				g + "(Linear).Score", g + "(Offset).Score", g + "Eval",
+				"callgraph/internal/score.Best",
+			},
+		},
+	}
+	for _, tc := range cases {
+		if got := ix.Reachable(tc.root); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Reachable(%s) = %v, want %v", tc.root, got, tc.want)
+		}
+	}
+
+	for _, id := range []string{g + "Eval", g + "(Offset).Score", "callgraph/internal/score.Best"} {
+		if ix.Funcs[id] == nil {
+			t.Errorf("index has no summary for %s", id)
+		}
+	}
+	if ids := ix.IDs(); !sortedStrings(ids) {
+		t.Errorf("IDs() not sorted: %v", ids)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSummaryCacheStableFindings runs a summary-driven fixture cold (writing
+// the cache) and warm (reading it) and requires bit-identical findings: the
+// on-disk summaries must round-trip every field the checks consume.
+func TestSummaryCacheStableFindings(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheDir = t.TempDir()
+	cold := loadFixture(t, "hotalloc", cfg)
+	if len(cold) == 0 {
+		t.Fatal("cold run produced no findings; fixture or checks are broken")
+	}
+	entries, err := os.ReadDir(cfg.CacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			summaries++
+		}
+	}
+	if summaries == 0 {
+		t.Fatal("cold run wrote no summary files")
+	}
+	warm := loadFixture(t, "hotalloc", cfg)
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm-cache findings differ\ncold:\n  %s\nwarm:\n  %s",
+			strings.Join(cold, "\n  "), strings.Join(warm, "\n  "))
+	}
+}
+
+// TestCacheIgnoresStaleSchema: a cache entry with the wrong schema or path
+// must be recomputed, not trusted. Simulated by corrupting every summary
+// in place and re-running: findings must still match the cold run.
+func TestCacheIgnoresCorruptEntries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheDir = t.TempDir()
+	cold := loadFixture(t, "hotalloc", cfg)
+	entries, err := os.ReadDir(cfg.CacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		p := filepath.Join(cfg.CacheDir, e.Name())
+		if err := os.WriteFile(p, []byte(`{"schema":-1}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again := loadFixture(t, "hotalloc", cfg)
+	if !reflect.DeepEqual(cold, again) {
+		t.Errorf("corrupt cache changed findings\ncold:\n  %s\ngot:\n  %s",
+			strings.Join(cold, "\n  "), strings.Join(again, "\n  "))
+	}
+}

@@ -1,0 +1,576 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ---- shared helpers for the dataflow checks ----------------------------
+
+// pathMatchesAny is the string-level twin of matchesAnySuffix: does the
+// import path equal one of the suffixes or end with "/"+suffix?
+func pathMatchesAny(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// shortID trims the module prefix off a function ID for messages:
+// "decamouflage/internal/filtering.slidingMin" -> "filtering.slidingMin".
+func shortID(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// selectsPkgFuncSuffix is selectsPkgFunc with suffix-based path matching,
+// so fixture mini-modules that mirror the real layout resolve the same way.
+func selectsPkgFuncSuffix(info *types.Info, e ast.Expr, pkgSuffix, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	pn := pkgNameOf(info, sel.X)
+	if pn == nil {
+		return false
+	}
+	p := pn.Imported().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// exprUsesAny reports whether e references any object in set.
+func exprUsesAny(info *types.Info, e ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := info.Uses[id]; o != nil && set[o] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ---- parsafe -----------------------------------------------------------
+
+// checkParSafe makes the parallel substrate's determinism guarantee a
+// static property: a closure handed to parallel.For(ctx, n, fn) may write
+// captured slices, maps, or arrays only at indices derived from its chunk
+// bounds lo..hi, and may not write captured scalars at all — two chunks
+// writing the same location is a data race the serial-vs-parallel
+// equivalence tests can only catch probabilistically. Tasks handed to
+// parallel.Do are each run once, so their writes may additionally use the
+// task's enclosing loop variables (the task index) or constant indices.
+// Mutation through method calls is out of scope (covered by -race runs).
+func checkParSafe(pkg *Package, cfg Config) []Finding {
+	if pkg.HasSuffix(cfg.ParallelPkg) || pkg.HasSuffix(cfg.ParallelPkg+"_test") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, parSafeFunc(pkg, cfg, fd)...)
+		}
+	}
+	return out
+}
+
+func parSafeFunc(pkg *Package, cfg Config, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		switch {
+		case selectsPkgFuncSuffix(pkg.Info, fun, cfg.ParallelPkg, "For"):
+			if len(call.Args) < 3 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit)
+			if !ok {
+				return true // named body: analyzed where it is defined
+			}
+			seeds := map[types.Object]bool{}
+			for _, field := range lit.Type.Params.List {
+				for _, name := range field.Names {
+					if o := pkg.Info.Defs[name]; o != nil {
+						seeds[o] = true
+					}
+				}
+			}
+			out = append(out, analyzeChunkClosure(pkg, lit, seeds, false)...)
+		case selectsPkgFuncSuffix(pkg.Info, fun, cfg.ParallelPkg, "Do"):
+			if len(call.Args) < 2 {
+				return true
+			}
+			for _, task := range doTaskLits(pkg, fd, call.Args[1]) {
+				seeds := enclosingLoopSeeds(pkg, fd, task)
+				out = append(out, analyzeChunkClosure(pkg, task, seeds, true)...)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// doTaskLits finds the task closures behind parallel.Do's second argument:
+// either a composite literal of func values in place, or a local slice
+// variable populated by indexed assignment or append within the function.
+func doTaskLits(pkg *Package, fd *ast.FuncDecl, arg ast.Expr) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	addElts := func(cl *ast.CompositeLit) {
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if lit, ok := ast.Unparen(elt).(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+		}
+	}
+	switch arg := ast.Unparen(arg).(type) {
+	case *ast.CompositeLit:
+		addElts(arg)
+	case *ast.Ident:
+		obj := pkg.Info.Uses[arg]
+		if obj == nil {
+			return nil
+		}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				rhs := ast.Unparen(as.Rhs[i])
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					// tasks[i] = func() error { ... }
+					if rootObj(pkg.Info, l.X) != obj {
+						continue
+					}
+					if lit, ok := rhs.(*ast.FuncLit); ok {
+						lits = append(lits, lit)
+					}
+				case *ast.Ident:
+					o := pkg.Info.Defs[l]
+					if o == nil {
+						o = pkg.Info.Uses[l]
+					}
+					if o != obj {
+						continue
+					}
+					// tasks = append(tasks, func() error { ... })
+					if call, ok := rhs.(*ast.CallExpr); ok && calleeName(call) == "append" {
+						for _, a := range call.Args[1:] {
+							if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+								lits = append(lits, lit)
+							}
+						}
+					}
+					if cl, ok := rhs.(*ast.CompositeLit); ok {
+						addElts(cl)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return lits
+}
+
+// enclosingLoopSeeds collects the loop variables of every for/range
+// statement in fd that encloses lit — for a task built in a loop, the task
+// index variables that make its writes per-task.
+func enclosingLoopSeeds(pkg *Package, fd *ast.FuncDecl, lit *ast.FuncLit) map[types.Object]bool {
+	seeds := map[types.Object]bool{}
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if o := pkg.Info.Defs[id]; o != nil {
+				seeds[o] = true
+			}
+		}
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil || lit.Pos() < n.Pos() || lit.End() > n.End() {
+			return n != nil && lit.Pos() >= n.Pos() && lit.End() <= n.End()
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if as, ok := n.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, lhs := range as.Lhs {
+					addIdent(lhs)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if n.Key != nil {
+					addIdent(n.Key)
+				}
+				if n.Value != nil {
+					addIdent(n.Value)
+				}
+			}
+		}
+		return true
+	})
+	return seeds
+}
+
+// analyzeChunkClosure enforces the write discipline inside one parallel
+// closure. derived starts at the chunk-bound parameters (or task loop
+// variables) and grows by fixpoint over local assignments; a local sliced
+// from a captured base with a derived bound is a chunk-owned alias whose
+// writes are disjoint by construction.
+func analyzeChunkClosure(pkg *Package, lit *ast.FuncLit, seeds map[types.Object]bool, taskConstOK bool) []Finding {
+	info := pkg.Info
+	derived := map[types.Object]bool{}
+	for o := range seeds {
+		derived[o] = true
+	}
+	owned := map[types.Object]bool{}
+
+	capturedRoot := func(e ast.Expr) types.Object {
+		root := rootObj(info, e)
+		if v, ok := root.(*types.Var); ok && !declaredWithin(v, lit) && !owned[v] {
+			return v
+		}
+		return nil
+	}
+
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || !declaredWithin(obj, lit) {
+					continue
+				}
+				var rhs ast.Expr
+				switch {
+				case len(as.Rhs) == len(as.Lhs):
+					rhs = as.Rhs[i]
+				case len(as.Rhs) == 1:
+					rhs = as.Rhs[0]
+				default:
+					continue
+				}
+				if se, ok := ast.Unparen(rhs).(*ast.SliceExpr); ok {
+					if capturedRoot(se.X) != nil && sliceBoundDerived(info, se, derived) {
+						if !owned[obj] {
+							owned[obj] = true
+							changed = true
+						}
+						continue
+					}
+				}
+				if !derived[obj] && exprUsesAny(info, rhs, derived) {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{Check: "parsafe", Pos: pkg.pos(n), Msg: msg})
+	}
+	checkTarget := func(e ast.Expr) {
+		target := ast.Unparen(e)
+		var indices []ast.Expr
+		deref := false
+		cur := target
+	peel:
+		for {
+			switch x := ast.Unparen(cur).(type) {
+			case *ast.IndexExpr:
+				indices = append(indices, x.Index)
+				cur = x.X
+			case *ast.SelectorExpr:
+				cur = x.X
+			case *ast.StarExpr:
+				deref = true
+				cur = x.X
+			default:
+				break peel
+			}
+		}
+		id, ok := ast.Unparen(cur).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || declaredWithin(v, lit) || owned[v] {
+			return
+		}
+		if len(indices) == 0 {
+			what := "captured variable " + v.Name()
+			if deref {
+				what = "captured pointer target *" + v.Name()
+			}
+			report(target, "write to "+what+" from a parallel closure races across chunks; "+
+				"use a per-chunk local, an index derived from the chunk bounds, or sync/atomic")
+			return
+		}
+		for _, ix := range indices {
+			if exprUsesAny(info, ix, derived) {
+				continue
+			}
+			if taskConstOK {
+				if tv, ok := info.Types[ix]; ok && tv.Value != nil {
+					continue
+				}
+			}
+			report(target, "write to captured "+v.Name()+" at an index not derived from the "+
+				"chunk bounds: every chunk writes the same element; index with lo..hi "+
+				"(or the task's loop variable) instead")
+			return
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(n.X)
+		}
+		return true
+	})
+	return out
+}
+
+// sliceBoundDerived reports whether any explicit bound of the slice
+// expression references a derived variable.
+func sliceBoundDerived(info *types.Info, se *ast.SliceExpr, derived map[types.Object]bool) bool {
+	for _, b := range []ast.Expr{se.Low, se.High, se.Max} {
+		if b != nil && exprUsesAny(info, b, derived) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- hotalloc ----------------------------------------------------------
+
+// checkHotAlloc enforces the //declint:hot contract: an annotated function
+// and everything it statically calls (interface dispatch included, resolved
+// to module-defined implementers) must be allocation-free — no make/new, no
+// growing append (append(x[:0], ...) reuse is sanctioned), no map or slice
+// literals, no closures, no interface boxing of non-pointer-shaped values.
+// The fast kernels' throughput claims rest on zero per-call allocations;
+// this makes that a checked property of the whole call closure instead of
+// a benchmark-day observation.
+func checkHotAlloc(pkgs []*Package, cfg Config, ix *Index) []Finding {
+	var out []Finding
+	seen := map[string]bool{}
+	for _, rootID := range ix.IDs() {
+		root := ix.Funcs[rootID]
+		if !root.Hot {
+			continue
+		}
+		for _, id := range ix.Reachable(rootID) {
+			fx := ix.Funcs[id]
+			if fx == nil {
+				continue
+			}
+			for _, a := range fx.Allocs {
+				key := fmt.Sprintf("%s:%d:%d|%s", a.Pos.Filename, a.Pos.Line, a.Pos.Column, a.Kind)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				msg := a.Kind + " in " + hotMarker + " function " + shortID(id)
+				if id != rootID {
+					msg = a.Kind + " in " + shortID(id) + ", reachable from " +
+						hotMarker + " " + shortID(rootID)
+				}
+				out = append(out, Finding{
+					Check: "hotalloc", Pos: a.Pos,
+					Msg: msg + "; hoist the allocation out of the hot path or suppress with a reason",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ---- detprop -----------------------------------------------------------
+
+// checkDetProp extends the determinism check transitively: a kernel-package
+// function must not reach time.Now, math/rand, or map-ordered output
+// through any chain of module-internal calls, however deep. Sources inside
+// the kernel packages themselves are already reported directly by
+// `determinism`, so detprop flags only chains whose carrier lives outside
+// them; packages in TaintExemptPkgs (observability: spans read clocks but
+// never feed numeric output) are barriers the traversal does not cross.
+func checkDetProp(pkgs []*Package, cfg Config, ix *Index) []Finding {
+	exemptTraverse := func(p string) bool { return pathMatchesAny(p, cfg.TaintExemptPkgs) }
+	exemptCarrier := func(p string) bool {
+		return exemptTraverse(p) || pathMatchesAny(p, cfg.DeterminismPkgs)
+	}
+
+	type taint struct {
+		chain []string
+		site  *Site
+	}
+	memo := map[string]*taint{}
+	var findTaint func(id string) *taint
+	findTaint = func(start string) *taint {
+		if t, ok := memo[start]; ok {
+			return t
+		}
+		memo[start] = nil // cycle guard: in-progress nodes read as clean
+		seen := map[string]bool{start: true}
+		parent := map[string]string{}
+		queue := []string{start}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			fx := ix.Funcs[cur]
+			if fx == nil || exemptTraverse(fx.PkgPath) {
+				continue
+			}
+			if len(fx.Sources) > 0 && !exemptCarrier(fx.PkgPath) {
+				chain := []string{cur}
+				for p := cur; p != start; {
+					p = parent[p]
+					chain = append([]string{p}, chain...)
+				}
+				t := &taint{chain: chain, site: &fx.Sources[0]}
+				memo[start] = t
+				return t
+			}
+			for _, c := range fx.Calls {
+				for _, next := range ix.expand(c.Callee) {
+					if !seen[next] {
+						seen[next] = true
+						parent[next] = cur
+						queue = append(queue, next)
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	var out []Finding
+	seenSite := map[string]bool{}
+	for _, id := range ix.IDs() {
+		fx := ix.Funcs[id]
+		if !pathMatchesAny(fx.PkgPath, cfg.DeterminismPkgs) {
+			continue
+		}
+		for _, cs := range fx.Calls {
+			for _, target := range ix.expand(cs.Callee) {
+				t := findTaint(target)
+				if t == nil {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d:%d", cs.Pos.Filename, cs.Pos.Line, cs.Pos.Column)
+				if seenSite[key] {
+					break
+				}
+				seenSite[key] = true
+				short := make([]string, len(t.chain))
+				for i, c := range t.chain {
+					short[i] = shortID(c)
+				}
+				out = append(out, Finding{
+					Check: "detprop", Pos: cs.Pos,
+					Msg: fmt.Sprintf("call reaches %s at %s:%d (via %s); "+
+						"kernel output must not depend on it",
+						t.site.Kind, filepath.Base(t.site.Pos.Filename), t.site.Pos.Line,
+						strings.Join(short, " -> ")),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ---- ctxflow -----------------------------------------------------------
+
+// checkCtxFlow enforces context discipline in internal library code: a
+// function that receives a context must actually use it and must not mint a
+// fresh context.Background/TODO, and unexported internal functions may not
+// mint contexts at all — only exported entry points are documented context
+// roots. A minted context three calls deep silently severs cancellation
+// for every parallel kernel below it.
+func checkCtxFlow(pkgs []*Package, cfg Config, ix *Index) []Finding {
+	var out []Finding
+	for _, id := range ix.IDs() {
+		fx := ix.Funcs[id]
+		if !strings.Contains("/"+fx.PkgPath+"/", "/internal/") {
+			continue
+		}
+		if fx.HasCtx && !fx.CtxUsed {
+			out = append(out, Finding{
+				Check: "ctxflow", Pos: fx.CtxPos,
+				Msg: "ctx parameter " + fx.CtxParam + " of " + shortID(id) +
+					" is never used; pass it to callees or rename it _ to document the drop",
+			})
+		}
+		for _, r := range fx.CtxRoots {
+			switch {
+			case fx.HasCtx:
+				out = append(out, Finding{
+					Check: "ctxflow", Pos: r.Pos,
+					Msg: shortID(id) + " receives a context but mints " + r.Kind +
+						"(); pass the ctx parameter down instead",
+				})
+			case !fx.Exported:
+				out = append(out, Finding{
+					Check: "ctxflow", Pos: r.Pos,
+					Msg: "unexported " + shortID(id) + " mints " + r.Kind +
+						"() in internal code; accept a context from its caller",
+				})
+			}
+		}
+	}
+	return out
+}

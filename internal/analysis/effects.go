@@ -1,0 +1,575 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// hotMarker tags a function whose body and whole static call closure must
+// stay allocation-free; see checkHotAlloc for the contract.
+const hotMarker = "//declint:hot"
+
+// Site is one effect occurrence: an allocation, a forbidden-source read, or
+// a context root, classified by kind.
+type Site struct {
+	Kind string         `json:"kind"`
+	Pos  token.Position `json:"pos"`
+}
+
+// CallSite is one outgoing call edge. Callee is either "fn:<func-id>" for a
+// statically resolved target or "iface:<pkg>.<iface>.<method>" for dynamic
+// dispatch through a named interface; the latter is resolved to concrete
+// implementers at index time (see Index), never inside the cached summary,
+// so a summary stays valid when *other* packages gain implementers.
+type CallSite struct {
+	Callee string         `json:"callee"`
+	Pos    token.Position `json:"pos"`
+}
+
+// FuncEffects is the intraprocedural summary of one function: what it
+// allocates, which forbidden sources it reads, where its calls go, and how
+// it treats contexts. Closures are folded into their enclosing declaration —
+// a FuncLit contributes a "closure" allocation plus all of its body's
+// effects under the enclosing function's ID. Summaries are computed from
+// non-test files only and are JSON-stable for the on-disk cache.
+type FuncEffects struct {
+	ID       string         `json:"id"`
+	PkgPath  string         `json:"pkgPath"`
+	Pos      token.Position `json:"pos"`
+	Exported bool           `json:"exported"`
+	Hot      bool           `json:"hot"`
+
+	Allocs  []Site     `json:"allocs,omitempty"`
+	Sources []Site     `json:"sources,omitempty"`
+	Calls   []CallSite `json:"calls,omitempty"`
+
+	// WritesCaptured records assignments inside closures whose target is
+	// declared outside the closure — the raw material of a data race when
+	// the closure escapes to another goroutine.
+	WritesCaptured []Site `json:"writesCaptured,omitempty"`
+
+	// Context facts for ctxflow: HasCtx when the signature takes a
+	// context.Context, CtxParam/CtxPos name the first such parameter,
+	// CtxUsed when any ctx parameter is referenced in the body (a parameter
+	// named or declared _ counts as an explicit, documented drop), and
+	// CtxRoots are the context.Background/TODO call sites in the body.
+	HasCtx   bool           `json:"hasCtx,omitempty"`
+	CtxParam string         `json:"ctxParam,omitempty"`
+	CtxUsed  bool           `json:"ctxUsed,omitempty"`
+	CtxPos   token.Position `json:"ctxPos,omitempty"`
+	CtxRoots []Site         `json:"ctxRoots,omitempty"`
+}
+
+// funcIDOf renders the stable identity of a function or method:
+// "pkg/path.Name" for package functions, "pkg/path.(Recv).Name" for methods
+// (pointer receivers and generic instantiations collapse onto the origin).
+func funcIDOf(fn *types.Func) string {
+	fn = fn.Origin()
+	if fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + ".(" + n.Obj().Name() + ")." + fn.Name()
+		}
+		return fn.Pkg().Path() + ".(?)." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// docHasMarker reports whether the doc comment carries the given directive
+// on a line of its own.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// pointerShaped reports whether boxing a value of type t into an interface
+// copies a single pointer word and therefore cannot allocate: pointers,
+// channels, maps, functions, and unsafe pointers. Everything else (ints,
+// floats, strings, slices, structs) allocates when converted to an
+// interface on the general path, which is what hotalloc polices.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// staticFuncRef resolves e to the *types.Func it names, when e is a direct
+// reference: a plain function ident, a package-qualified function, or a
+// method value/expression. Nil for anything dynamic.
+func staticFuncRef(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr {
+				fn, _ := sel.Obj().(*types.Func)
+				return fn
+			}
+			return nil
+		}
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// collectFuncVars maps local variables to the static functions assigned to
+// them anywhere in the declaration, so a call through a func-typed local
+// (`pass := slidingMin; ...; pass(line)`) resolves to every candidate.
+func collectFuncVars(info *types.Info, fd *ast.FuncDecl) map[types.Object][]*types.Func {
+	vars := map[types.Object][]*types.Func{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		fn := staticFuncRef(info, rhs)
+		if fn == nil {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if _, isVar := obj.(*types.Var); isVar {
+			vars[obj] = append(vars[obj], fn)
+		}
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// resolveCallTargets returns the call-edge keys for a callee expression:
+// zero or more "fn:<id>" entries, or one "iface:<pkg>.<iface>.<method>"
+// entry for dispatch through a named interface.
+func resolveCallTargets(info *types.Info, fun ast.Expr, funcVars map[types.Object][]*types.Func) []string {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			if id := funcIDOf(obj); id != "" {
+				return []string{"fn:" + id}
+			}
+		case *types.Var:
+			var out []string
+			for _, fn := range funcVars[obj] {
+				if id := funcIDOf(fn); id != "" {
+					out = append(out, "fn:"+id)
+				}
+			}
+			return out
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok || sel.Kind() == types.FieldVal {
+				return nil
+			}
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				if _, isIface := named.Underlying().(*types.Interface); isIface {
+					if named.Obj().Pkg() == nil {
+						return nil // universe interfaces (error)
+					}
+					return []string{"iface:" + named.Obj().Pkg().Path() + "." +
+						named.Obj().Name() + "." + fn.Name()}
+				}
+			}
+			if _, isIface := recv.Underlying().(*types.Interface); isIface {
+				return nil // anonymous interface or type parameter
+			}
+			if id := funcIDOf(fn); id != "" {
+				return []string{"fn:" + id}
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if id := funcIDOf(fn); id != "" {
+				return []string{"fn:" + id}
+			}
+		}
+	}
+	return nil
+}
+
+// isReuseAppend recognizes the sanctioned no-growth idiom
+// `append(x[:0], ...)` (equivalently x[0:0]) that reuses backing storage.
+func isReuseAppend(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	se, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok || se.High == nil {
+		return false
+	}
+	tv, ok := info.Types[se.High]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := intConst(tv)
+	return exact && v == 0
+}
+
+func intConst(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	s := tv.Value.ExactString()
+	v, err := strconv.ParseInt(s, 10, 64)
+	return v, err == nil
+}
+
+// rootObj peels selectors, indexes, slices, derefs, and parens down to the
+// base identifier's object, or nil when the base is not a plain name.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// effectsWalker accumulates one function's summary during a single AST
+// walk, tracking the enclosing-node stack so closure-captured writes can be
+// distinguished from ordinary local assignments.
+type effectsWalker struct {
+	pkg     *Package
+	fx      *FuncEffects
+	ctxObjs map[types.Object]bool
+	vars    map[types.Object][]*types.Func
+	stack   []ast.Node
+}
+
+func (w *effectsWalker) innermostLit() *ast.FuncLit {
+	for i := len(w.stack) - 1; i >= 0; i-- {
+		if lit, ok := w.stack[i].(*ast.FuncLit); ok {
+			return lit
+		}
+	}
+	return nil
+}
+
+func (w *effectsWalker) alloc(kind string, n ast.Node) {
+	w.fx.Allocs = append(w.fx.Allocs, Site{Kind: kind, Pos: w.pkg.pos(n)})
+}
+
+func (w *effectsWalker) source(kind string, n ast.Node) {
+	w.fx.Sources = append(w.fx.Sources, Site{Kind: kind, Pos: w.pkg.pos(n)})
+}
+
+func (w *effectsWalker) visit(n ast.Node) bool {
+	if n == nil {
+		w.stack = w.stack[:len(w.stack)-1]
+		return false
+	}
+	w.stack = append(w.stack, n)
+	info := w.pkg.Info
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		w.alloc("closure", n)
+	case *ast.CallExpr:
+		w.visitCall(n)
+	case *ast.CompositeLit:
+		if tv, ok := info.Types[n]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				w.alloc("map literal", n)
+			case *types.Slice:
+				w.alloc("slice literal", n)
+			}
+		}
+	case *ast.SelectorExpr:
+		if selectsPkgFunc(info, n, "time", "Now") {
+			w.source("time.Now", n)
+		} else if pn := pkgNameOf(info, n.X); pn != nil {
+			if p := pn.Imported().Path(); p == "math/rand" || p == "math/rand/v2" {
+				w.source("math/rand", n)
+			}
+		}
+	case *ast.RangeStmt:
+		if n.X != nil {
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					if sink, what := orderDependentSink(n.Body, info); sink != nil {
+						w.source("map-ordered output ("+what+")", n)
+					}
+				}
+			}
+		}
+	case *ast.Ident:
+		if w.ctxObjs[info.Uses[n]] {
+			w.fx.CtxUsed = true
+		}
+	case *ast.AssignStmt:
+		if n.Tok != token.DEFINE {
+			for _, lhs := range n.Lhs {
+				w.visitWrite(lhs)
+			}
+		}
+	case *ast.IncDecStmt:
+		w.visitWrite(n.X)
+	}
+	return true
+}
+
+// visitWrite records a captured-variable write when the assignment sits
+// inside a closure but targets state declared outside it.
+func (w *effectsWalker) visitWrite(lhs ast.Expr) {
+	lit := w.innermostLit()
+	if lit == nil {
+		return
+	}
+	obj := rootObj(w.pkg.Info, lhs)
+	if v, ok := obj.(*types.Var); ok && !declaredWithin(v, lit) {
+		w.fx.WritesCaptured = append(w.fx.WritesCaptured,
+			Site{Kind: "write to captured " + v.Name(), Pos: w.pkg.pos(lhs)})
+	}
+}
+
+func (w *effectsWalker) visitCall(call *ast.CallExpr) {
+	info := w.pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				w.alloc(b.Name(), call)
+			case "append":
+				if !isReuseAppend(info, call) {
+					w.alloc("append-growth", call)
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion, not a call. T(x) with interface T boxes x.
+		if t := tv.Type; types.IsInterface(t) && len(call.Args) == 1 {
+			w.checkBoxing(t, call.Args[0])
+		}
+		return
+	}
+
+	if selectsPkgFunc(info, fun, "context", "Background") {
+		w.fx.CtxRoots = append(w.fx.CtxRoots, Site{Kind: "context.Background", Pos: w.pkg.pos(call)})
+	} else if selectsPkgFunc(info, fun, "context", "TODO") {
+		w.fx.CtxRoots = append(w.fx.CtxRoots, Site{Kind: "context.TODO", Pos: w.pkg.pos(call)})
+	}
+
+	for _, target := range resolveCallTargets(info, fun, w.vars) {
+		w.fx.Calls = append(w.fx.Calls, CallSite{Callee: target, Pos: w.pkg.pos(call)})
+	}
+
+	// Interface boxing of arguments: a concrete, non-pointer-shaped value
+	// passed to an interface parameter allocates.
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // f(xs...) passes the slice through, no boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		w.checkBoxing(pt, arg)
+	}
+}
+
+func (w *effectsWalker) checkBoxing(to types.Type, arg ast.Expr) {
+	at, ok := w.pkg.Info.Types[arg]
+	if !ok || at.IsNil() || at.Type == nil {
+		return
+	}
+	if types.IsInterface(at.Type) {
+		return // interface-to-interface, no new box
+	}
+	if _, isTP := at.Type.(*types.TypeParam); isTP {
+		return
+	}
+	if pointerShaped(at.Type) {
+		return
+	}
+	_ = to
+	w.alloc("interface boxing", arg)
+}
+
+// computeFuncEffects summarizes one declaration. idSuffix disambiguates the
+// (uncallable) init functions, which may legally repeat per package.
+func computeFuncEffects(pkg *Package, fd *ast.FuncDecl, idSuffix string) *FuncEffects {
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil || fd.Body == nil {
+		return nil
+	}
+	fx := &FuncEffects{
+		ID:       funcIDOf(obj) + idSuffix,
+		PkgPath:  pkg.Path,
+		Pos:      pkg.pos(fd.Name),
+		Exported: fd.Name.IsExported(),
+		Hot:      docHasMarker(fd.Doc, hotMarker),
+	}
+	ctxObjs := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok || !isContextType(tv.Type) {
+				continue
+			}
+			fx.HasCtx = true
+			if len(field.Names) == 0 {
+				// Unnamed parameter: impossible to use, explicit drop.
+				fx.CtxUsed = true
+				if fx.CtxParam == "" {
+					fx.CtxParam = "_"
+					fx.CtxPos = pkg.pos(field)
+				}
+				continue
+			}
+			for _, name := range field.Names {
+				if fx.CtxParam == "" {
+					fx.CtxParam = name.Name
+					fx.CtxPos = pkg.pos(name)
+				}
+				if name.Name == "_" {
+					fx.CtxUsed = true
+					continue
+				}
+				if o := pkg.Info.Defs[name]; o != nil {
+					ctxObjs[o] = true
+				}
+			}
+		}
+	}
+	w := &effectsWalker{
+		pkg:     pkg,
+		fx:      fx,
+		ctxObjs: ctxObjs,
+		vars:    collectFuncVars(pkg.Info, fd),
+	}
+	ast.Inspect(fd.Body, w.visit)
+	return fx
+}
+
+// computePackageEffects summarizes every function declared in the package's
+// non-test files, sorted by ID for a canonical (cacheable) order.
+func computePackageEffects(pkg *Package) []*FuncEffects {
+	var out []*FuncEffects
+	initSeq := 0
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			suffix := ""
+			if fd.Name.Name == "init" && fd.Recv == nil {
+				initSeq++
+				suffix = "#" + strconv.Itoa(initSeq)
+			}
+			if fx := computeFuncEffects(pkg, fd, suffix); fx != nil {
+				out = append(out, fx)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Pos.Offset < out[j].Pos.Offset
+	})
+	return out
+}

@@ -1,0 +1,63 @@
+// Fixture: call-graph construction — static calls, calls through
+// func-typed locals, method values, interface dispatch, and mutual
+// recursion, exercised by the Index tests.
+package graph
+
+// Scorer is the dispatch interface.
+type Scorer interface {
+	Score(x float64) float64
+}
+
+// Linear implements Scorer on the value receiver.
+type Linear struct{ K float64 }
+
+// Score scales by K.
+func (l Linear) Score(x float64) float64 { return l.K * x }
+
+// Offset implements Scorer on the pointer receiver.
+type Offset struct{ B float64 }
+
+// Score shifts by B.
+func (o *Offset) Score(x float64) float64 { return x + o.B }
+
+// Eval dispatches through the interface.
+func Eval(s Scorer, x float64) float64 {
+	return s.Score(x)
+}
+
+// Apply calls through a func-typed local bound to two candidates.
+func Apply(x float64, flip bool) float64 {
+	f := Double
+	if flip {
+		f = Halve
+	}
+	return f(x)
+}
+
+// Double doubles.
+func Double(x float64) float64 { return 2 * x }
+
+// Halve halves.
+func Halve(x float64) float64 { return x / 2 }
+
+// Bind calls through a method value.
+func Bind(l Linear, x float64) float64 {
+	g := l.Score
+	return g(x)
+}
+
+// Even and Odd are mutually recursive.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+// Odd is Even's counterpart.
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}

@@ -1,0 +1,10 @@
+// Fixture: a cross-package static edge into the dispatching package, so
+// reachability from here spans package boundary plus interface dispatch.
+package score
+
+import "callgraph/internal/graph"
+
+// Best evaluates through graph.Eval.
+func Best(x float64) float64 {
+	return graph.Eval(graph.Linear{K: 1}, x)
+}

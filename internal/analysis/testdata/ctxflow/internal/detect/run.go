@@ -1,0 +1,42 @@
+// Fixture: context discipline in internal library code. Exported entry
+// points may root contexts; unexported functions must accept one, use it,
+// and never re-mint.
+package detect
+
+import "context"
+
+// Run is an exported entry point: minting the root context is its job.
+func Run() error {
+	return scan(context.Background(), 4)
+}
+
+// scan threads its context onward: silent.
+func scan(ctx context.Context, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	return step(ctx, n)
+}
+
+// step receives a context it never touches.
+func step(ctx context.Context, n int) error {
+	return mint(n)
+}
+
+// mint is unexported yet creates its own root context.
+func mint(n int) error {
+	return scan(context.Background(), n-1)
+}
+
+// fork uses its context and still mints a fresh one for the callee.
+func fork(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return scan(context.Background(), n)
+}
+
+// skip documents its drop by naming the parameter _: silent.
+func skip(_ context.Context) error {
+	return nil
+}

@@ -1,0 +1,13 @@
+// Fixture stand-in for the observability package: it reads the clock to
+// stamp events but never feeds numeric output, so detprop treats it as a
+// traversal barrier.
+package obs
+
+import "time"
+
+var last time.Time
+
+// Mark records an event timestamp.
+func Mark() {
+	last = time.Now()
+}

@@ -1,0 +1,9 @@
+// Fixture helper: a non-kernel package that draws from the global PRNG.
+package sampler
+
+import "math/rand"
+
+// Next draws one sample.
+func Next() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,34 @@
+// Fixture: transitive determinism. The kernel package never reads a
+// forbidden source directly (the direct case belongs to `determinism`);
+// the chains here run through helper packages outside the kernel set.
+package scaling
+
+import (
+	"detprop/internal/obs"
+	"detprop/internal/sampler"
+	"detprop/internal/stamp"
+)
+
+// Resize reaches time.Now two hops away (stamp.ID -> stamp.now).
+func Resize(out []float64) {
+	tag := stamp.ID()
+	for i := range out {
+		out[i] = float64(len(tag))
+	}
+}
+
+// Jitter reaches math/rand one hop away.
+func Jitter(out []float64) {
+	for i := range out {
+		out[i] = sampler.Next()
+	}
+}
+
+// Traced calls into observability, which reads clocks but is an exempt
+// traversal barrier: silent.
+func Traced(out []float64) {
+	obs.Mark()
+	for i := range out {
+		out[i] = 1
+	}
+}

@@ -1,0 +1,14 @@
+// Fixture helper: a non-kernel package whose API reads the clock one call
+// below its surface, so kernel callers are two hops from the source.
+package stamp
+
+import "time"
+
+// ID derives a token from the current time.
+func ID() string {
+	return now().Format(time.RFC3339)
+}
+
+func now() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,64 @@
+// Fixture: the //declint:hot allocation contract — direct allocations,
+// allocations reached through a call into another package, closure and
+// boxing allocations, the suppression escape hatch, and the silence of
+// non-hot code.
+package filtering
+
+import "hotalloc/internal/kernels"
+
+// Sweep is allocation-free itself but reaches an allocating helper in
+// another package.
+//
+//declint:hot
+func Sweep(out []float64) {
+	kernels.Fill(out)
+}
+
+// Window allocates directly in a hot function.
+//
+//declint:hot
+func Window(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Scratch allocates too, but the site carries a justified waiver.
+//
+//declint:hot
+func Scratch(n int) []float64 {
+	//declint:ignore hotalloc setup-time cold path, called once per plan
+	return make([]float64, n)
+}
+
+// Apply builds a closure per call.
+//
+//declint:hot
+func Apply(out []float64) {
+	add := func(i int) { out[i]++ }
+	for i := range out {
+		add(i)
+	}
+}
+
+// Report boxes an int into an interface parameter.
+//
+//declint:hot
+func Report(n int) {
+	sink(n)
+}
+
+// sink accepts anything; boxing happens at the caller.
+func sink(v any) { _ = v }
+
+// Clean is hot and allocation-free: silent.
+//
+//declint:hot
+func Clean(out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+}
+
+// Cold is not hot: its allocation is nobody's business.
+func Cold(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,9 @@
+// Fixture helper: an allocating function that is itself unmarked but sits
+// inside a hot root's static call closure.
+package kernels
+
+// Fill rebuilds its scratch on every call.
+func Fill(out []float64) {
+	tmp := make([]float64, len(out))
+	copy(out, tmp)
+}

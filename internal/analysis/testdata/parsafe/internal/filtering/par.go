@@ -1,0 +1,80 @@
+// Fixture: write discipline inside parallel closures. Chunk-indexed writes
+// and chunk-owned aliases stay silent; cross-chunk element writes and
+// captured-scalar accumulation are flagged.
+package filtering
+
+import (
+	"context"
+
+	"parsafe/internal/parallel"
+)
+
+// Sum is the seeded race: every chunk folds into out[0].
+func Sum(ctx context.Context, in, out []float64) error {
+	return parallel.For(ctx, len(in), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[0] += in[i]
+		}
+		return nil
+	})
+}
+
+// Scale writes only indices derived from the chunk bounds: silent.
+func Scale(ctx context.Context, out []float64, k float64) error {
+	return parallel.For(ctx, len(out), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] *= k
+		}
+		return nil
+	})
+}
+
+// Total accumulates into a captured scalar across chunks.
+func Total(ctx context.Context, in []float64) (float64, error) {
+	var total float64
+	err := parallel.For(ctx, len(in), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			total += in[i]
+		}
+		return nil
+	})
+	return total, err
+}
+
+// Bands writes through a local sliced from the captured base at derived
+// bounds — a chunk-owned alias, disjoint by construction: silent.
+func Bands(ctx context.Context, out []float64) error {
+	return parallel.For(ctx, len(out), func(lo, hi int) error {
+		band := out[lo:hi]
+		for i := range band {
+			band[i] = 1
+		}
+		return nil
+	})
+}
+
+// Tasks exercises parallel.Do: per-task loop indices and constant indices
+// are fine (each task runs exactly once); a captured-scalar counter races.
+func Tasks(ctx context.Context, out []float64) error {
+	var n int
+	tasks := make([]func() error, 0, len(out)+2)
+	for i := range out {
+		tasks = append(tasks, func() error {
+			out[i] = float64(i)
+			return nil
+		})
+	}
+	tasks = append(tasks, func() error {
+		out[0] = out[0] + 1
+		return nil
+	})
+	tasks = append(tasks, func() error {
+		n++
+		return nil
+	})
+	if err := parallel.Do(ctx, tasks); err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}

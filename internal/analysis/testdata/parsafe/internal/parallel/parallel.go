@@ -1,0 +1,26 @@
+// Fixture stand-in for the real substrate: same signatures and import-path
+// suffix, so parsafe scopes and resolves call sites exactly as it does on
+// the module, without needing goroutines in a fixture.
+package parallel
+
+import "context"
+
+// Option mirrors the real substrate's options.
+type Option struct{}
+
+// For runs fn serially over [0, n).
+func For(ctx context.Context, n int, fn func(lo, hi int) error, opts ...Option) error {
+	_ = ctx
+	return fn(0, n)
+}
+
+// Do runs each task once.
+func Do(ctx context.Context, tasks []func() error, opts ...Option) error {
+	_ = ctx
+	for _, t := range tasks {
+		if err := t(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -19,8 +19,9 @@ func statsCells(cs eval.ConfusionStats) []string {
 	}
 }
 
-// runT1 prints the paper's Table 1 (CNN input sizes).
-func (r *Runner) runT1(ctx context.Context) error {
+// runT1 prints the paper's Table 1 (CNN input sizes). The table is static,
+// so the uniform runner ctx is deliberately unused.
+func (r *Runner) runT1(_ context.Context) error {
 	tbl := report.NewTable("Input sizes for popular CNN models (paper Table 1)", "Model", "Size (pixels)")
 	for _, m := range detect.ModelInputSizes() {
 		tbl.AddRow(m.Model, fmt.Sprintf("%d * %d", m.W, m.H))

@@ -46,6 +46,8 @@ func windowOffsets(size int) (lo, hi int) {
 // padClamped fills dst (length n+size-1) with src samples under replicate
 // clamping such that the window of output i covers dst[i : i+size]:
 // dst[t] = src[clamp(t+lo)] at the given stride.
+//
+//declint:hot
 func padClamped(dst []float64, src []float64, n, stride, lo int) {
 	for t := range dst {
 		j := t + lo
@@ -63,6 +65,8 @@ func padClamped(dst []float64, src []float64, n, stride, lo int) {
 // pass and one forward prefix-wedge pass over blocks of w samples, then a
 // single min per output — ~3 comparisons per sample regardless of w.
 // wedge is scratch of len(padded).
+//
+//declint:hot
 func slidingMin(out, padded, wedge []float64, w int) {
 	p := len(padded)
 	if w == 2 {
@@ -106,6 +110,8 @@ func slidingMin(out, padded, wedge []float64, w int) {
 }
 
 // slidingMax is slidingMin with the comparison flipped.
+//
+//declint:hot
 func slidingMax(out, padded, wedge []float64, w int) {
 	p := len(padded)
 	if w == 2 {
@@ -149,7 +155,7 @@ func slidingMax(out, padded, wedge []float64, w int) {
 // Per-axis clamping makes the rectangular window exactly separable:
 // extremum over {(clampX(x+dx), clampY(y+dy))} = vertical extremum of
 // per-row horizontal extrema.
-func minMaxFilter(img *imgcore.Image, size int, isMax bool, popts ...parallel.Option) (*imgcore.Image, error) {
+func minMaxFilter(ctx context.Context, img *imgcore.Image, size int, isMax bool, popts ...parallel.Option) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
@@ -159,7 +165,6 @@ func minMaxFilter(img *imgcore.Image, size int, isMax bool, popts ...parallel.Op
 	lo, _ := windowOffsets(size)
 	tmp := img.Clone()
 	out := img.Clone()
-	ctx := context.Background()
 	pass := slidingMin
 	if isMax {
 		pass = slidingMax
@@ -225,6 +230,8 @@ type sortedWindow struct {
 }
 
 // reset refills the window from scratch and sorts it.
+//
+//declint:hot
 func (s *sortedWindow) reset(vals []float64) {
 	s.vals = append(s.vals[:0], vals...)
 	sort.Float64s(s.vals)
@@ -234,6 +241,8 @@ func (s *sortedWindow) reset(vals []float64) {
 // and disambiguated by bit pattern so ±0 and NaN payloads are matched
 // precisely. The caller guarantees v is present. Returns -1 if it is not
 // (only reachable on contract violation; callers treat it as a no-op).
+//
+//declint:hot
 func (s *sortedWindow) find(v float64) int {
 	vb := math.Float64bits(v)
 	i := 0
@@ -258,6 +267,8 @@ func (s *sortedWindow) find(v float64) int {
 // replace removes one instance of old and inserts new with a single shift
 // of the span between the two positions — half the copying of a separate
 // remove + insert. NaNs sort to the front, matching sort.Float64s.
+//
+//declint:hot
 func (s *sortedWindow) replace(old, new float64) {
 	if math.Float64bits(old) == math.Float64bits(new) {
 		// Same sample entering and leaving (frequent at clamped borders):
@@ -285,6 +296,8 @@ func (s *sortedWindow) replace(old, new float64) {
 
 // median returns the window median under the same rule as pickMedian:
 // middle element for odd counts, mean of the two middles for even.
+//
+//declint:hot
 func (s *sortedWindow) median() float64 {
 	n := len(s.vals)
 	if n%2 == 1 {
@@ -297,7 +310,7 @@ func (s *sortedWindow) median() float64 {
 // window slides along x — each step removes the leaving column's size
 // samples and inserts the entering column's size samples by binary search
 // (O(size·(log size + size)) per pixel instead of O(size²·log size)).
-func medianFilter(img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
+func medianFilter(ctx context.Context, img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
@@ -310,7 +323,7 @@ func medianFilter(img *imgcore.Image, size int, popts ...parallel.Option) (*imgc
 	opts := append([]parallel.Option{
 		parallel.Grain(parallel.GrainForWidth(rowCost, minFilterWork)),
 	}, popts...)
-	err := parallel.For(context.Background(), img.H, func(yLo, yHi int) error {
+	err := parallel.For(ctx, img.H, func(yLo, yHi int) error {
 		// Band-local scratch, reused across every pixel in the band.
 		win := sortedWindow{vals: make([]float64, 0, size*size)}
 		seed := make([]float64, 0, size*size)
@@ -372,6 +385,8 @@ func medianFilter(img *imgcore.Image, size int, popts ...parallel.Option) (*imgc
 
 // slidingSum writes out[i] = sum(padded[i : i+w]) as a running sum: one
 // add and one subtract per step.
+//
+//declint:hot
 func slidingSum(out, padded []float64, w int) {
 	var s float64
 	for t := 0; t < w; t++ {
@@ -388,7 +403,7 @@ func slidingSum(out, padded []float64, w int) {
 // then columns), dividing once by size² at the end. The summation order
 // differs from the naive per-window scan, so outputs agree with the naive
 // reference to tolerance, not bit-exactly.
-func boxFilter(img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
+func boxFilter(ctx context.Context, img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
@@ -398,7 +413,6 @@ func boxFilter(img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore
 	lo, _ := windowOffsets(size)
 	tmp := img.Clone()
 	out := img.Clone()
-	ctx := context.Background()
 	inv := 1 / float64(size*size)
 
 	rowCost := img.W * img.C

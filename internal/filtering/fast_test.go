@@ -1,6 +1,7 @@
 package filtering
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,24 +22,24 @@ func fastNaivePairs() []filterPair {
 	return []filterPair{
 		{"min",
 			func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-				return minMaxFilter(img, size, false)
+				return minMaxFilter(context.Background(), img, size, false)
 			},
 			func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-				return rankFilter(img, size, pickMin)
+				return rankFilter(context.Background(), img, size, pickMin)
 			}},
 		{"max",
 			func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-				return minMaxFilter(img, size, true)
+				return minMaxFilter(context.Background(), img, size, true)
 			},
 			func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-				return rankFilter(img, size, pickMax)
+				return rankFilter(context.Background(), img, size, pickMax)
 			}},
 		{"median",
 			func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-				return medianFilter(img, size)
+				return medianFilter(context.Background(), img, size)
 			},
 			func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-				return rankFilter(img, size, pickMedian)
+				return rankFilter(context.Background(), img, size, pickMedian)
 			}},
 	}
 }
@@ -112,11 +113,11 @@ func TestFastFiltersDegenerateGeometry(t *testing.T) {
 			}
 		}
 		// Box is tolerance-tested over the same degenerate corpus.
-		want, err := boxNaive(img, tc.window)
+		want, err := boxNaive(context.Background(), img, tc.window)
 		if err != nil {
 			t.Fatalf("box naive %dx%dx%d w=%d: %v", tc.w, tc.h, tc.c, tc.window, err)
 		}
-		got, err := boxFilter(img, tc.window)
+		got, err := boxFilter(context.Background(), img, tc.window)
 		if err != nil {
 			t.Fatalf("box fast %dx%dx%d w=%d: %v", tc.w, tc.h, tc.c, tc.window, err)
 		}
@@ -139,11 +140,11 @@ func TestBoxFastWithinToleranceOfNaive(t *testing.T) {
 		for _, c := range []int{1, 3} {
 			img := noiseImage(rng, wh[0], wh[1], c)
 			for _, window := range []int{2, 3, 5, 8} {
-				want, err := boxNaive(img, window)
+				want, err := boxNaive(context.Background(), img, window)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := boxFilter(img, window)
+				got, err := boxFilter(context.Background(), img, window)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -174,16 +175,16 @@ func TestFastFiltersSerialParallelEquivalence(t *testing.T) {
 				}
 				runs := []run{
 					{"min", func(po ...parallel.Option) (*imgcore.Image, error) {
-						return minMaxFilter(img, window, false, po...)
+						return minMaxFilter(context.Background(), img, window, false, po...)
 					}},
 					{"max", func(po ...parallel.Option) (*imgcore.Image, error) {
-						return minMaxFilter(img, window, true, po...)
+						return minMaxFilter(context.Background(), img, window, true, po...)
 					}},
 					{"median", func(po ...parallel.Option) (*imgcore.Image, error) {
-						return medianFilter(img, window, po...)
+						return medianFilter(context.Background(), img, window, po...)
 					}},
 					{"box", func(po ...parallel.Option) (*imgcore.Image, error) {
-						return boxFilter(img, window, po...)
+						return boxFilter(context.Background(), img, window, po...)
 					}},
 				}
 				for _, r := range runs {
@@ -268,7 +269,7 @@ func benchmarkFilter256(b *testing.B, fn func(*imgcore.Image, int) (*imgcore.Ima
 // (window 5 minimum) the fast path's speedup is measured against.
 func BenchmarkRankFilter256Naive(b *testing.B) {
 	benchmarkFilter256(b, func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-		return rankFilter(img, size, pickMin, parallel.Workers(1))
+		return rankFilter(context.Background(), img, size, pickMin, parallel.Workers(1))
 	}, 5)
 }
 
@@ -276,7 +277,7 @@ func BenchmarkRankFilter256Naive(b *testing.B) {
 // window 5.
 func BenchmarkMedianFilter256Naive(b *testing.B) {
 	benchmarkFilter256(b, func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-		return rankFilter(img, size, pickMedian, parallel.Workers(1))
+		return rankFilter(context.Background(), img, size, pickMedian, parallel.Workers(1))
 	}, 5)
 }
 
@@ -284,14 +285,14 @@ func BenchmarkMedianFilter256Naive(b *testing.B) {
 // window 5, single worker.
 func BenchmarkMedianFilter256Serial(b *testing.B) {
 	benchmarkFilter256(b, func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-		return medianFilter(img, size, parallel.Workers(1))
+		return medianFilter(context.Background(), img, size, parallel.Workers(1))
 	}, 5)
 }
 
 // BenchmarkBoxFilter256Naive is the per-window mean reference at window 5.
 func BenchmarkBoxFilter256Naive(b *testing.B) {
 	benchmarkFilter256(b, func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-		return boxNaive(img, size, parallel.Workers(1))
+		return boxNaive(context.Background(), img, size, parallel.Workers(1))
 	}, 5)
 }
 
@@ -299,6 +300,6 @@ func BenchmarkBoxFilter256Naive(b *testing.B) {
 // single worker.
 func BenchmarkBoxFilter256Serial(b *testing.B) {
 	benchmarkFilter256(b, func(img *imgcore.Image, size int) (*imgcore.Image, error) {
-		return boxFilter(img, size, parallel.Workers(1))
+		return boxFilter(context.Background(), img, size, parallel.Workers(1))
 	}, 5)
 }

@@ -26,20 +26,20 @@ var ErrBadWindow = errors.New("filtering: window size must be a positive odd-or-
 // van Herk–Gil–Werman sweep in fast.go — O(1) comparisons per sample —
 // whose output is bit-identical to the naive window scan for finite inputs.
 func Minimum(img *imgcore.Image, size int) (*imgcore.Image, error) {
-	return minMaxFilter(img, size, false)
+	return minMaxFilter(context.Background(), img, size, false)
 }
 
 // Maximum applies a size×size maximum filter (grayscale dilation). Like
 // Minimum, it runs the separable van Herk–Gil–Werman sweep.
 func Maximum(img *imgcore.Image, size int) (*imgcore.Image, error) {
-	return minMaxFilter(img, size, true)
+	return minMaxFilter(context.Background(), img, size, true)
 }
 
 // Median applies a size×size median filter via the per-row sliding sorted
 // window in fast.go, bit-identical to the naive collect-and-select for
 // finite inputs.
 func Median(img *imgcore.Image, size int) (*imgcore.Image, error) {
-	return medianFilter(img, size)
+	return medianFilter(context.Background(), img, size)
 }
 
 // Rank applies a size×size rank filter selecting the k-th smallest sample
@@ -48,7 +48,7 @@ func Rank(img *imgcore.Image, size, k int) (*imgcore.Image, error) {
 	if k < 0 || k >= size*size {
 		return nil, fmt.Errorf("filtering: rank %d out of range [0,%d)", k, size*size)
 	}
-	return rankFilter(img, size, func(buf []float64) float64 {
+	return rankFilter(context.Background(), img, size, func(buf []float64) float64 {
 		sort.Float64s(buf)
 		return buf[k]
 	})
@@ -96,7 +96,7 @@ const minFilterWork = 1 << 14
 // must therefore be a pure function of its buffer. The window buffer is
 // allocated once per band at its full size² length and refilled in place
 // across every pixel of the band, so the sweep itself never reallocates.
-func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64, popts ...parallel.Option) (*imgcore.Image, error) {
+func rankFilter(ctx context.Context, img *imgcore.Image, size int, pick func([]float64) float64, popts ...parallel.Option) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,7 +110,7 @@ func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64, popt
 	opts := append([]parallel.Option{
 		parallel.Grain(parallel.GrainForWidth(rowCost, minFilterWork)),
 	}, popts...)
-	err := parallel.For(context.Background(), img.H, func(yLo, yHi int) error {
+	err := parallel.For(ctx, img.H, func(yLo, yHi int) error {
 		buf := make([]float64, size*size)
 		for y := yLo; y < yHi; y++ {
 			for x := 0; x < img.W; x++ {
@@ -138,22 +138,22 @@ func rankFilter(img *imgcore.Image, size int, pick func([]float64) float64, popt
 // in fast.go. Its summation order differs from the naive window scan, so
 // outputs match the naive reference to tolerance rather than bit-exactly.
 func Box(img *imgcore.Image, size int) (*imgcore.Image, error) {
-	return boxFilter(img, size)
+	return boxFilter(context.Background(), img, size)
 }
 
 // box is the fast Box with parallel options threaded through for the
 // serial-vs-parallel equivalence tests.
-func box(img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
-	return boxFilter(img, size, popts...)
+func box(ctx context.Context, img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
+	return boxFilter(ctx, img, size, popts...)
 }
 
 // boxNaive is the per-window reference mean filter the fast path is
 // tolerance-tested against.
-func boxNaive(img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
+func boxNaive(ctx context.Context, img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.Image, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadWindow, size)
 	}
-	return rankFilter(img, size, func(buf []float64) float64 {
+	return rankFilter(ctx, img, size, func(buf []float64) float64 {
 		var s float64
 		for _, v := range buf {
 			s += v
@@ -165,12 +165,12 @@ func boxNaive(img *imgcore.Image, size int, popts ...parallel.Option) (*imgcore.
 // Gaussian applies Gaussian smoothing with the given radius and sigma to
 // each channel independently (separable implementation).
 func Gaussian(img *imgcore.Image, radius int, sigma float64) (*imgcore.Image, error) {
-	return gaussian(img, radius, sigma)
+	return gaussian(context.Background(), img, radius, sigma)
 }
 
 // gaussian is Gaussian with parallel options threaded through for the
 // serial-vs-parallel equivalence tests.
-func gaussian(img *imgcore.Image, radius int, sigma float64, popts ...parallel.Option) (*imgcore.Image, error) {
+func gaussian(ctx context.Context, img *imgcore.Image, radius int, sigma float64, popts ...parallel.Option) (*imgcore.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
@@ -189,7 +189,6 @@ func gaussian(img *imgcore.Image, radius int, sigma float64, popts ...parallel.O
 	}
 	out := img.Clone()
 	tmp := img.Clone()
-	ctx := context.Background()
 	rowCost := img.W * img.C * (2*radius + 1)
 	opts := append([]parallel.Option{
 		parallel.Grain(parallel.GrainForWidth(rowCost, minFilterWork)),

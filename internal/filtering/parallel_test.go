@@ -1,6 +1,7 @@
 package filtering
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -34,12 +35,12 @@ func TestRankFilterSerialParallelEquivalence(t *testing.T) {
 			img := noiseImage(rng, wh[0], wh[1], c)
 			for _, window := range []int{2, 3} {
 				for name, pick := range picks {
-					want, err := rankFilter(img, window, pick, parallel.Workers(1), parallel.Grain(1))
+					want, err := rankFilter(context.Background(), img, window, pick, parallel.Workers(1), parallel.Grain(1))
 					if err != nil {
 						t.Fatalf("%s %dx%dx%d w=%d serial: %v", name, wh[0], wh[1], c, window, err)
 					}
 					for _, workers := range []int{2, 4, 7} {
-						got, err := rankFilter(img, window, pick, parallel.Workers(workers), parallel.Grain(1))
+						got, err := rankFilter(context.Background(), img, window, pick, parallel.Workers(workers), parallel.Grain(1))
 						if err != nil {
 							t.Fatalf("%s workers=%d: %v", name, workers, err)
 						}
@@ -64,20 +65,20 @@ func TestBoxGaussianSerialParallelEquivalence(t *testing.T) {
 		for _, c := range []int{1, 3} {
 			img := noiseImage(rng, wh[0], wh[1], c)
 
-			wantBox, err := box(img, 3, parallel.Workers(1), parallel.Grain(1))
+			wantBox, err := box(context.Background(), img, 3, parallel.Workers(1), parallel.Grain(1))
 			if err != nil {
 				t.Fatal(err)
 			}
-			wantGauss, err := gaussian(img, 2, 1.1, parallel.Workers(1), parallel.Grain(1))
+			wantGauss, err := gaussian(context.Background(), img, 2, 1.1, parallel.Workers(1), parallel.Grain(1))
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{2, 5} {
-				gotBox, err := box(img, 3, parallel.Workers(workers), parallel.Grain(1))
+				gotBox, err := box(context.Background(), img, 3, parallel.Workers(workers), parallel.Grain(1))
 				if err != nil {
 					t.Fatal(err)
 				}
-				gotGauss, err := gaussian(img, 2, 1.1, parallel.Workers(workers), parallel.Grain(1))
+				gotGauss, err := gaussian(context.Background(), img, 2, 1.1, parallel.Workers(workers), parallel.Grain(1))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -105,7 +106,7 @@ func TestExportedFiltersMatchPinnedSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := rankFilter(img, 2, pickMin, parallel.Workers(1))
+	want, err := rankFilter(context.Background(), img, 2, pickMin, parallel.Workers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func benchmarkMinimum(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := minMaxFilter(img, 5, false, parallel.Workers(workers)); err != nil {
+		if _, err := minMaxFilter(context.Background(), img, 5, false, parallel.Workers(workers)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -194,13 +194,13 @@ func FromReal(data []float64, w, h int) (*Matrix, error) {
 // FFT2D computes the forward 2-D DFT (rows then columns) of m into a new
 // matrix.
 func FFT2D(m *Matrix) (*Matrix, error) {
-	return transform2D(m, false)
+	return transform2D(context.Background(), m, false)
 }
 
 // IFFT2D computes the inverse 2-D DFT of m into a new matrix, including the
 // 1/(W*H) normalization.
 func IFFT2D(m *Matrix) (*Matrix, error) {
-	out, err := transform2D(m, true)
+	out, err := transform2D(context.Background(), m, true)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +219,7 @@ const minTransformWork = 1 << 13
 // repeated 2-D transforms of the same geometry allocate nothing per pass.
 var colScratch = sync.Pool{New: func() any { return &[]complex128{} }}
 
-func transform2D(m *Matrix, inverse bool, opts ...parallel.Option) (*Matrix, error) {
+func transform2D(ctx context.Context, m *Matrix, inverse bool, opts ...parallel.Option) (*Matrix, error) {
 	if m == nil || m.W == 0 || m.H == 0 {
 		return nil, ErrEmpty
 	}
@@ -234,7 +234,6 @@ func transform2D(m *Matrix, inverse bool, opts ...parallel.Option) (*Matrix, err
 		return nil, err
 	}
 	out := &Matrix{W: m.W, H: m.H, Data: append([]complex128(nil), m.Data...)}
-	ctx := context.Background()
 	// Rows: each chunk transforms a disjoint band of rows in place.
 	rowOpts := append([]parallel.Option{
 		parallel.Grain(parallel.GrainForWidth(m.W, minTransformWork)),

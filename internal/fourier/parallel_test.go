@@ -1,6 +1,7 @@
 package fourier
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -37,12 +38,12 @@ func TestTransform2DSerialParallelEquivalence(t *testing.T) {
 	for _, wh := range sizes {
 		for _, inverse := range []bool{false, true} {
 			m := randomMatrix(rng, wh[0], wh[1])
-			want, err := transform2D(m, inverse, parallel.Workers(1), parallel.Grain(1))
+			want, err := transform2D(context.Background(), m, inverse, parallel.Workers(1), parallel.Grain(1))
 			if err != nil {
 				t.Fatalf("%dx%d inverse=%v serial: %v", wh[0], wh[1], inverse, err)
 			}
 			for _, workers := range workerCounts {
-				got, err := transform2D(m, inverse, parallel.Workers(workers), parallel.Grain(1))
+				got, err := transform2D(context.Background(), m, inverse, parallel.Workers(workers), parallel.Grain(1))
 				if err != nil {
 					t.Fatalf("%dx%d inverse=%v workers=%d: %v", wh[0], wh[1], inverse, workers, err)
 				}
@@ -69,7 +70,7 @@ func TestFFT2DPublicAPIMatchesPinnedSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := transform2D(m, false, parallel.Workers(1))
+		want, err := transform2D(context.Background(), m, false, parallel.Workers(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func TestFFT2DPublicAPIMatchesPinnedSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantInvRaw, err := transform2D(got, true, parallel.Workers(1))
+		wantInvRaw, err := transform2D(context.Background(), got, true, parallel.Workers(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func benchmarkFFT2D(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := transform2D(m, false, parallel.Workers(workers)); err != nil {
+		if _, err := transform2D(context.Background(), m, false, parallel.Workers(workers)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,7 +151,7 @@ func BenchmarkFFT2DBluestein257Parallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := transform2D(m, false); err != nil {
+		if _, err := transform2D(context.Background(), m, false); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -150,8 +150,11 @@ func (p *Plan) initBluestein() error {
 // Transform runs the planned unnormalized DFT in place on x, which must
 // have length N(). The arithmetic — and therefore the output, bit for bit
 // — is identical to the naive transform in fft.go.
+//
+//declint:hot
 func (p *Plan) Transform(x []complex128) error {
 	if len(x) != p.n {
+		//declint:ignore hotalloc error path only; the length-mismatch message boxes its ints once per misuse, never per transform
 		return fmt.Errorf("fourier: plan length %d, input length %d", p.n, len(x))
 	}
 	if p.n == 1 {
@@ -167,6 +170,8 @@ func (p *Plan) Transform(x []complex128) error {
 
 // execRadix2 is the iterative Cooley-Tukey butterfly with precomputed
 // permutation and twiddles.
+//
+//declint:hot
 func (p *Plan) execRadix2(x []complex128) {
 	n := p.n
 	for i, j := range p.perm {
@@ -192,11 +197,14 @@ func (p *Plan) execRadix2(x []complex128) {
 
 // execBluestein evaluates the chirp-z convolution with the precomputed
 // filter spectrum and pooled scratch.
+//
+//declint:hot
 func (p *Plan) execBluestein(x []complex128) {
 	n, m := p.n, p.m
 	ap := p.scratch.Get().(*[]complex128)
 	a := *ap
 	if cap(a) < m {
+		//declint:ignore hotalloc pool-miss cold path; steady state reuses the pooled buffer
 		a = make([]complex128, m)
 	}
 	a = a[:m]

@@ -117,7 +117,7 @@ func SSIM(a, b *imgcore.Image) (float64, error) {
 //
 //declint:nan-ok shape validation runs in ssimWith; NaN samples propagate to the score
 func SSIMWith(a, b *imgcore.Image, opts SSIMOptions) (float64, error) {
-	return ssimWith(a, b, opts)
+	return ssimWith(context.Background(), a, b, opts)
 }
 
 // ssimWith is SSIMWith with parallel options threaded through for the
@@ -125,7 +125,7 @@ func SSIMWith(a, b *imgcore.Image, opts SSIMOptions) (float64, error) {
 // per-pixel product maps run in parallel bands; the final mean stays a
 // serial reduction so the summation order — and therefore the result — is
 // identical for every worker count.
-func ssimWith(a, b *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (float64, error) {
+func ssimWith(ctx context.Context, a, b *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (float64, error) {
 	if err := checkPair(a, b); err != nil {
 		return 0, err
 	}
@@ -155,8 +155,12 @@ func ssimWith(a, b *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (
 	defer putScratch(muAp)
 	defer putScratch(muBp)
 	muA, muB := *muAp, *muBp
-	blurWith(muA, gaPix, w, h, kern, rowOpts, colOpts)
-	blurWith(muB, gbPix, w, h, kern, rowOpts, colOpts)
+	if err := blurWith(ctx, muA, gaPix, w, h, kern, rowOpts, colOpts); err != nil {
+		return 0, err
+	}
+	if err := blurWith(ctx, muB, gbPix, w, h, kern, rowOpts, colOpts); err != nil {
+		return 0, err
+	}
 
 	aap, bbp, abp := getScratch(n), getScratch(n), getScratch(n)
 	defer putScratch(aap)
@@ -164,7 +168,7 @@ func ssimWith(a, b *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (
 	defer putScratch(abp)
 	aa, bb, ab := *aap, *bbp, *abp
 	prodOpts := append([]parallel.Option{parallel.Grain(minBlurWork)}, popts...)
-	if err := parallel.For(context.Background(), n, func(lo, hi int) error {
+	if err := parallel.For(ctx, n, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			aa[i] = gaPix[i] * gaPix[i]
 			bb[i] = gbPix[i] * gbPix[i]
@@ -179,9 +183,15 @@ func ssimWith(a, b *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (
 	defer putScratch(sBBp)
 	defer putScratch(sABp)
 	sAA, sBB, sAB := *sAAp, *sBBp, *sABp
-	blurWith(sAA, aa, w, h, kern, rowOpts, colOpts)
-	blurWith(sBB, bb, w, h, kern, rowOpts, colOpts)
-	blurWith(sAB, ab, w, h, kern, rowOpts, colOpts)
+	if err := blurWith(ctx, sAA, aa, w, h, kern, rowOpts, colOpts); err != nil {
+		return 0, err
+	}
+	if err := blurWith(ctx, sBB, bb, w, h, kern, rowOpts, colOpts); err != nil {
+		return 0, err
+	}
+	if err := blurWith(ctx, sAB, ab, w, h, kern, rowOpts, colOpts); err != nil {
+		return 0, err
+	}
 
 	c1 := (opts.K1 * opts.L) * (opts.K1 * opts.L)
 	c2 := (opts.K2 * opts.L) * (opts.K2 * opts.L)
@@ -289,18 +299,20 @@ const minBlurWork = 1 << 14
 // blurSeparable convolves a single-channel image with a separable kernel
 // using replicate border handling, returning a fresh slice. It is a thin
 // wrapper over blurInto for callers that want an owned result.
-func blurSeparable(src []float64, w, h int, kern []float64, popts ...parallel.Option) []float64 {
+func blurSeparable(ctx context.Context, src []float64, w, h int, kern []float64, popts ...parallel.Option) ([]float64, error) {
 	dst := make([]float64, len(src))
-	blurInto(dst, src, w, h, kern, popts...)
-	return dst
+	if err := blurInto(ctx, dst, src, w, h, kern, popts...); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // blurInto is blurSeparable writing into a caller-provided destination
 // (len(dst) == len(src) == w*h), drawing its intermediate row-pass buffer
 // from the scratch pool.
-func blurInto(dst, src []float64, w, h int, kern []float64, popts ...parallel.Option) {
+func blurInto(ctx context.Context, dst, src []float64, w, h int, kern []float64, popts ...parallel.Option) error {
 	rowOpts, colOpts := blurOpts(w, h, len(kern), popts)
-	blurWith(dst, src, w, h, kern, rowOpts, colOpts)
+	return blurWith(ctx, dst, src, w, h, kern, rowOpts, colOpts)
 }
 
 // blurOpts assembles the per-pass parallel options for a w×h blur with the
@@ -316,54 +328,71 @@ func blurOpts(w, h, klen int, popts []parallel.Option) (rowOpts, colOpts []paral
 	return rowOpts, colOpts
 }
 
+// convolveRows writes the horizontal pass for rows [yLo, yHi): tmp row y is
+// src row y convolved with kern under replicate clamping.
+//
+//declint:hot
+func convolveRows(tmp, src []float64, w int, kern []float64, r, yLo, yHi int) {
+	for y := yLo; y < yHi; y++ {
+		row := src[y*w : (y+1)*w]
+		out := tmp[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			var s float64
+			for k := -r; k <= r; k++ {
+				xx := x + k
+				if xx < 0 {
+					xx = 0
+				} else if xx >= w {
+					xx = w - 1
+				}
+				s += kern[k+r] * row[xx]
+			}
+			out[x] = s
+		}
+	}
+}
+
+// convolveCols writes the vertical pass for columns [xLo, xHi): dst column
+// x is tmp column x convolved with kern under replicate clamping.
+//
+//declint:hot
+func convolveCols(dst, tmp []float64, w, h int, kern []float64, r, xLo, xHi int) {
+	for x := xLo; x < xHi; x++ {
+		for y := 0; y < h; y++ {
+			var s float64
+			for k := -r; k <= r; k++ {
+				yy := y + k
+				if yy < 0 {
+					yy = 0
+				} else if yy >= h {
+					yy = h - 1
+				}
+				s += kern[k+r] * tmp[yy*w+x]
+			}
+			dst[y*w+x] = s
+		}
+	}
+}
+
 // blurWith runs the separable convolution with caller-assembled options.
-// Each pass runs in parallel bands over disjoint output rows/columns.
-func blurWith(dst, src []float64, w, h int, kern []float64, rowOpts, colOpts []parallel.Option) {
+// Each pass runs in parallel bands over disjoint output rows/columns;
+// cancellation between passes propagates as an error.
+func blurWith(ctx context.Context, dst, src []float64, w, h int, kern []float64, rowOpts, colOpts []parallel.Option) error {
 	r := (len(kern) - 1) / 2
-	ctx := context.Background()
 	tmpP := getScratch(len(src))
 	defer putScratch(tmpP)
 	tmp := *tmpP
 	// Horizontal: chunks own disjoint row bands of tmp.
-	//declint:ignore errdrop ctx is Background and the chunk fn never errors
-	_ = parallel.For(ctx, h, func(yLo, yHi int) error {
-		for y := yLo; y < yHi; y++ {
-			row := src[y*w : (y+1)*w]
-			out := tmp[y*w : (y+1)*w]
-			for x := 0; x < w; x++ {
-				var s float64
-				for k := -r; k <= r; k++ {
-					xx := x + k
-					if xx < 0 {
-						xx = 0
-					} else if xx >= w {
-						xx = w - 1
-					}
-					s += kern[k+r] * row[xx]
-				}
-				out[x] = s
-			}
-		}
+	err := parallel.For(ctx, h, func(yLo, yHi int) error {
+		convolveRows(tmp, src, w, kern, r, yLo, yHi)
 		return nil
 	}, rowOpts...)
+	if err != nil {
+		return err
+	}
 	// Vertical: chunks own disjoint column bands of dst, reading all of tmp.
-	//declint:ignore errdrop ctx is Background and the chunk fn never errors
-	_ = parallel.For(ctx, w, func(xLo, xHi int) error {
-		for x := xLo; x < xHi; x++ {
-			for y := 0; y < h; y++ {
-				var s float64
-				for k := -r; k <= r; k++ {
-					yy := y + k
-					if yy < 0 {
-						yy = 0
-					} else if yy >= h {
-						yy = h - 1
-					}
-					s += kern[k+r] * tmp[yy*w+x]
-				}
-				dst[y*w+x] = s
-			}
-		}
+	return parallel.For(ctx, w, func(xLo, xHi int) error {
+		convolveCols(dst, tmp, w, h, kern, r, xLo, xHi)
 		return nil
 	}, colOpts...)
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -249,7 +250,10 @@ func TestBlurPreservesConstant(t *testing.T) {
 	for i := range src {
 		src[i] = 42
 	}
-	out := blurSeparable(src, 12, 9, gaussianKernel(3, 1.0))
+	out, err := blurSeparable(context.Background(), src, 12, 9, gaussianKernel(3, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range out {
 		if math.Abs(v-42) > 1e-9 {
 			t.Fatalf("blur sample %d = %v", i, v)

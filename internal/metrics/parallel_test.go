@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -33,12 +34,12 @@ func TestSSIMSerialParallelEquivalence(t *testing.T) {
 	for _, wh := range sizes {
 		for _, c := range []int{1, 3} {
 			a, b := noisePair(t, rng, wh[0], wh[1], c)
-			want, err := ssimWith(a, b, DefaultSSIM(), parallel.Workers(1), parallel.Grain(1))
+			want, err := ssimWith(context.Background(), a, b, DefaultSSIM(), parallel.Workers(1), parallel.Grain(1))
 			if err != nil {
 				t.Fatalf("%dx%dx%d serial: %v", wh[0], wh[1], c, err)
 			}
 			for _, workers := range []int{2, 4, 8} {
-				got, err := ssimWith(a, b, DefaultSSIM(), parallel.Workers(workers), parallel.Grain(1))
+				got, err := ssimWith(context.Background(), a, b, DefaultSSIM(), parallel.Workers(workers), parallel.Grain(1))
 				if err != nil {
 					t.Fatalf("%dx%dx%d workers=%d: %v", wh[0], wh[1], c, workers, err)
 				}
@@ -61,9 +62,15 @@ func TestBlurSeparableSerialParallelEquivalence(t *testing.T) {
 		for i := range src {
 			src[i] = rng.Float64() * 255
 		}
-		want := blurSeparable(src, wh[0], wh[1], kern, parallel.Workers(1), parallel.Grain(1))
+		want, err := blurSeparable(context.Background(), src, wh[0], wh[1], kern, parallel.Workers(1), parallel.Grain(1))
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, workers := range []int{2, 6} {
-			got := blurSeparable(src, wh[0], wh[1], kern, parallel.Workers(workers), parallel.Grain(1))
+			got, err := blurSeparable(context.Background(), src, wh[0], wh[1], kern, parallel.Workers(workers), parallel.Grain(1))
+			if err != nil {
+				t.Fatal(err)
+			}
 			for i := range want {
 				if !testutil.BitEqual(got[i], want[i]) {
 					t.Fatalf("%dx%d workers=%d: sample %d differs: %v vs %v",
@@ -83,7 +90,7 @@ func TestSSIMPublicAPIMatchesPinnedSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ssimWith(a, b, DefaultSSIM(), parallel.Workers(1))
+	want, err := ssimWith(context.Background(), a, b, DefaultSSIM(), parallel.Workers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +106,7 @@ func benchmarkSSIM(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ssimWith(x, y, opts, parallel.Workers(workers)); err != nil {
+		if _, err := ssimWith(context.Background(), x, y, opts, parallel.Workers(workers)); err != nil {
 			b.Fatal(err)
 		}
 	}

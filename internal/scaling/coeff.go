@@ -211,6 +211,8 @@ func fastCeil(x float64) float64 {
 // Apply resamples one channel-strided signal: src has length N with the
 // given stride between consecutive samples; dst receives M samples with
 // its own stride.
+//
+//declint:hot
 func (c *Coeff) Apply(src []float64, srcStride int, dst []float64, dstStride int) {
 	for i, row := range c.Rows {
 		var s float64

@@ -1,6 +1,7 @@
 package scaling
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -48,12 +49,12 @@ func TestResizeSerialParallelEquivalence(t *testing.T) {
 			}
 			for _, c := range []int{1, 3} {
 				img := noiseImage(t, rng, tc.srcW, tc.srcH, c)
-				want, err := resizeWith(img, horiz, vert, parallel.Workers(1), parallel.Grain(1))
+				want, err := resizeWith(context.Background(), img, horiz, vert, parallel.Workers(1), parallel.Grain(1))
 				if err != nil {
 					t.Fatalf("%v %+v serial: %v", alg, tc, err)
 				}
 				for _, workers := range []int{2, 4, 9} {
-					got, err := resizeWith(img, horiz, vert, parallel.Workers(workers), parallel.Grain(1))
+					got, err := resizeWith(context.Background(), img, horiz, vert, parallel.Workers(workers), parallel.Grain(1))
 					if err != nil {
 						t.Fatalf("%v %+v workers=%d: %v", alg, tc, workers, err)
 					}
@@ -87,7 +88,7 @@ func TestResizePublicAPIMatchesPinnedSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := resizeWith(img, horiz, vert, parallel.Workers(1))
+	want, err := resizeWith(context.Background(), img, horiz, vert, parallel.Workers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func benchmarkResize(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := resizeWith(img, horiz, vert, parallel.Workers(workers)); err != nil {
+		if _, err := resizeWith(context.Background(), img, horiz, vert, parallel.Workers(workers)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -84,7 +84,7 @@ func (s *Scaler) Resize(img *imgcore.Image) (*imgcore.Image, error) {
 			return nil, err
 		}
 	}
-	return resizeWith(img, horiz, vert)
+	return resizeWith(context.Background(), img, horiz, vert)
 }
 
 // Resize resamples img to (dstW×dstH) with the given options, drawing the
@@ -102,7 +102,7 @@ func Resize(img *imgcore.Image, dstW, dstH int, opts Options) (*imgcore.Image, e
 	if err != nil {
 		return nil, err
 	}
-	return resizeWith(img, horiz, vert)
+	return resizeWith(context.Background(), img, horiz, vert)
 }
 
 // minResizeWork is the per-chunk grain (in output taps) below which a
@@ -112,9 +112,8 @@ const minResizeWork = 1 << 14
 // resizeWith applies the separable operator: vertical pass then horizontal.
 // Both passes run in parallel bands over disjoint output columns/rows, so
 // the result is bit-identical to the serial order for any worker count.
-func resizeWith(img *imgcore.Image, horiz, vert *Coeff, popts ...parallel.Option) (*imgcore.Image, error) {
+func resizeWith(ctx context.Context, img *imgcore.Image, horiz, vert *Coeff, popts ...parallel.Option) (*imgcore.Image, error) {
 	dstW, dstH := horiz.M, vert.M
-	ctx := context.Background()
 	// Vertical pass: (img.H × img.W) -> (dstH × img.W), chunked over x.
 	mid, err := imgcore.New(img.W, dstH, img.C)
 	if err != nil {
