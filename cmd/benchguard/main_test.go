@@ -91,3 +91,94 @@ func TestErrors(t *testing.T) {
 		t.Errorf("missing file: exit %d, want 2", code)
 	}
 }
+
+const pairTxt = `goos: linux
+BenchmarkEnsembleLegacy-8     80   15000000 ns/op   5900000 B/op   272 allocs/op
+BenchmarkEnsembleLegacy-8     81   15200000 ns/op   5900100 B/op   273 allocs/op
+BenchmarkEnsembleLegacy-8     82   14800000 ns/op   5899900 B/op   272 allocs/op
+BenchmarkEnsemblePipeline-8  128    9000000 ns/op   2148000 B/op   176 allocs/op
+BenchmarkEnsemblePipeline-8  127    9100000 ns/op   2148100 B/op   176 allocs/op
+BenchmarkEnsemblePipeline-8  129    8900000 ns/op   2147900 B/op   175 allocs/op
+PASS
+`
+
+func TestCrossBenchmarkPair(t *testing.T) {
+	pair := writeBench(t, "pair.txt", pairTxt)
+	var stdout, stderr bytes.Buffer
+	// Pipeline median 9.0ms vs legacy 15.0ms = -40%; a -25% budget passes
+	// and the allocs gate sees 176 < 272.
+	code := run([]string{"-baseline", pair, "-candidate", pair,
+		"-baseline-bench", "BenchmarkEnsembleLegacy",
+		"-candidate-bench", "BenchmarkEnsemblePipeline",
+		"-max-overhead-pct", "-25", "-require-fewer-allocs"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "BenchmarkEnsembleLegacy -> BenchmarkEnsemblePipeline") {
+		t.Errorf("report missing pair label: %s", out)
+	}
+	if !strings.Contains(out, "overhead -40.00%") {
+		t.Errorf("report: %s", out)
+	}
+	if !strings.Contains(out, "baseline 272 allocs/op, candidate 176 allocs/op") {
+		t.Errorf("allocs report: %s", out)
+	}
+}
+
+func TestCrossBenchmarkNotFastEnough(t *testing.T) {
+	pair := writeBench(t, "pair.txt", pairTxt)
+	var stdout, stderr bytes.Buffer
+	// A -45% budget demands more than the measured -40% improvement.
+	code := run([]string{"-baseline", pair, "-candidate", pair,
+		"-baseline-bench", "BenchmarkEnsembleLegacy",
+		"-candidate-bench", "BenchmarkEnsemblePipeline",
+		"-max-overhead-pct", "-45"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stdout: %s", code, stdout.String())
+	}
+}
+
+func TestRequireFewerAllocsFailures(t *testing.T) {
+	pair := writeBench(t, "pair.txt", pairTxt)
+	var stdout, stderr bytes.Buffer
+	// Candidate allocs not strictly below baseline -> exit 1.
+	code := run([]string{"-baseline", pair, "-candidate", pair,
+		"-bench", "BenchmarkEnsembleLegacy",
+		"-max-overhead-pct", "5", "-require-fewer-allocs"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("equal allocs: exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "not below baseline") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+	// Missing allocation data -> exit 2.
+	noAllocs := writeBench(t, "noallocs.txt", "BenchmarkEnsembleLegacy-8  80  15000000 ns/op\n")
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-baseline", noAllocs, "-candidate", pair,
+		"-bench", "BenchmarkEnsembleLegacy",
+		"-max-overhead-pct", "5", "-require-fewer-allocs"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("missing allocs data: exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no allocs/op data") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+func TestBenchFlagDefaultsBothSides(t *testing.T) {
+	base := writeBench(t, "base.txt", baselineTxt)
+	var stdout, stderr bytes.Buffer
+	// -candidate-bench alone: baseline side falls back to -bench.
+	cand := writeBench(t, "cand.txt", "BenchmarkOther-8  100  900000 ns/op\n")
+	code := run([]string{"-baseline", base, "-candidate", cand,
+		"-bench", "BenchmarkDetectDisabled", "-candidate-bench", "BenchmarkOther"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	// Neither -bench nor the pair named -> usage error.
+	if code := run([]string{"-baseline", base, "-candidate", cand}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing bench names: exit %d, want 2", code)
+	}
+}

@@ -39,8 +39,6 @@ import (
 	"decamouflage/internal/attack"
 	"decamouflage/internal/detect"
 	"decamouflage/internal/imgcore"
-	"decamouflage/internal/obs"
-	"decamouflage/internal/parallel"
 	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
 )
@@ -223,24 +221,7 @@ func DetectBatch(ctx context.Context, e *Ensemble, imgs []*Image) ([]*EnsembleVe
 	if e == nil {
 		return nil, fmt.Errorf("decamouflage: nil ensemble")
 	}
-	ctx, st := obs.StartStage(ctx, "detect.batch", obs.H("detect.batch.seconds"))
-	defer st.End()
-	obs.C("detect.batch.images").Add(int64(len(imgs)))
-	out := make([]*EnsembleVerdict, len(imgs))
-	err := parallel.For(ctx, len(imgs), func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			v, err := e.Detect(ctx, imgs[i])
-			if err != nil {
-				return fmt.Errorf("decamouflage: image %d: %w", i, err)
-			}
-			out[i] = v
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return e.DetectBatch(ctx, imgs)
 }
 
 // SystemConfig is the full serializable description of a deployed

@@ -137,3 +137,26 @@ func MedianNsPerOp(rs []Result) float64 {
 	}
 	return (vals[mid-1] + vals[mid]) / 2
 }
+
+// MedianAllocsPerOp returns the median allocs/op across the results that
+// reported one (AllocsPerOp >= 0); results without -benchmem/ReportAllocs
+// data are skipped. It returns -1 when no result carries allocation data.
+// An even count averages the two central values, rounding down — allocs
+// are integral and the guard comparisons are strict inequalities.
+func MedianAllocsPerOp(rs []Result) int64 {
+	var vals []int64
+	for _, r := range rs {
+		if r.AllocsPerOp >= 0 {
+			vals = append(vals, r.AllocsPerOp)
+		}
+	}
+	if len(vals) == 0 {
+		return -1
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}

@@ -98,3 +98,25 @@ func TestSelectAndMedian(t *testing.T) {
 		t.Errorf("selected %d results for absent name", len(sel))
 	}
 }
+
+func TestMedianAllocsPerOp(t *testing.T) {
+	rs := []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1, AllocsPerOp: 30},
+		{Name: "BenchmarkA-8", NsPerOp: 1, AllocsPerOp: -1}, // no -benchmem on this rep
+		{Name: "BenchmarkA-8", NsPerOp: 1, AllocsPerOp: 10},
+		{Name: "BenchmarkA-8", NsPerOp: 1, AllocsPerOp: 20},
+	}
+	if got := MedianAllocsPerOp(rs); got != 20 {
+		t.Errorf("odd median = %d, want 20 (unreported rep skipped)", got)
+	}
+	rs = append(rs, Result{Name: "BenchmarkA-8", NsPerOp: 1, AllocsPerOp: 25})
+	if got := MedianAllocsPerOp(rs); got != 22 {
+		t.Errorf("even median = %d, want 22 (average of 20 and 25, rounded down)", got)
+	}
+	if got := MedianAllocsPerOp(nil); got != -1 {
+		t.Errorf("empty median = %d, want -1", got)
+	}
+	if got := MedianAllocsPerOp([]Result{{AllocsPerOp: -1}}); got != -1 {
+		t.Errorf("all-unreported median = %d, want -1", got)
+	}
+}

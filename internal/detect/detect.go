@@ -401,6 +401,35 @@ func (d *Detector) DetectCtx(ctx context.Context, img *imgcore.Image) (Verdict, 
 	} else {
 		score, err = d.scorer.Score(img)
 	}
+	return d.verdictFrom(st, score, err)
+}
+
+// detectIn scores through a per-image Intermediates table when the scorer
+// supports it, sharing memoized substrates with the other ensemble
+// members; ContextScorer and plain Scorer implementations fall back to
+// their legacy entry points on the raw image, so third-party scorers keep
+// working inside the pipeline ensemble unchanged.
+func (d *Detector) detectIn(ctx context.Context, in *Intermediates) (Verdict, error) {
+	sctx, st := obs.StartStage(ctx, d.scorer.Name(), d.scoreH)
+	var (
+		score float64
+		err   error
+	)
+	switch s := d.scorer.(type) {
+	case PipelineScorer:
+		score, err = s.ScorePipeline(sctx, in)
+	case ContextScorer:
+		score, err = s.ScoreCtx(sctx, in.img)
+	default:
+		score, err = d.scorer.Score(in.img)
+	}
+	return d.verdictFrom(st, score, err)
+}
+
+// verdictFrom finishes a detection: classify, annotate the stage span and
+// tally the verdict counters. Shared by DetectCtx and detectIn so both
+// paths record identically.
+func (d *Detector) verdictFrom(st obs.Stage, score float64, err error) (Verdict, error) {
 	if err != nil {
 		st.End()
 		return Verdict{}, err

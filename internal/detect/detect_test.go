@@ -6,19 +6,9 @@ import (
 
 	"decamouflage/internal/dataset"
 	"decamouflage/internal/imgcore"
-	"decamouflage/internal/scaling"
 	"decamouflage/internal/steg"
 	"decamouflage/internal/testutil"
 )
-
-func mustScaler(t testing.TB, srcW, srcH, dstW, dstH int) *scaling.Scaler {
-	t.Helper()
-	s, err := scaling.NewScaler(srcW, srcH, dstW, dstH, scaling.Options{Algorithm: scaling.Bilinear})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
-}
 
 func corpusImage(t testing.TB, seed int64, i, w, h int) *imgcore.Image {
 	t.Helper()

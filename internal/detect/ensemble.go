@@ -29,12 +29,19 @@ type EnsembleVerdict struct {
 type Ensemble struct {
 	detectors []*Detector
 
+	// pipe is the stage-DAG engine the ensemble scores through: per-image
+	// memoized substrates, batch-shared scaler/FFT-plan caches, pooled
+	// buffers (see pipeline.go).
+	pipe *Pipeline
+
 	// Whole-ensemble latency and majority-vote tallies, resolved at
-	// construction (detect.ensemble.*).
-	detectH *obs.Histogram
-	images  *obs.Counter
-	attackC *obs.Counter
-	benignC *obs.Counter
+	// construction (detect.ensemble.*), plus the batch equivalents.
+	detectH     *obs.Histogram
+	images      *obs.Counter
+	attackC     *obs.Counter
+	benignC     *obs.Counter
+	batchH      *obs.Histogram
+	batchImages *obs.Counter
 }
 
 // NewEnsemble builds an ensemble. At least one detector is required; an odd
@@ -49,11 +56,14 @@ func NewEnsemble(detectors ...*Detector) (*Ensemble, error) {
 		}
 	}
 	return &Ensemble{
-		detectors: append([]*Detector(nil), detectors...),
-		detectH:   obs.H("detect.ensemble.seconds"),
-		images:    obs.C("detect.ensemble.images"),
-		attackC:   obs.C("detect.ensemble.attack"),
-		benignC:   obs.C("detect.ensemble.benign"),
+		detectors:   append([]*Detector(nil), detectors...),
+		pipe:        NewPipeline(),
+		detectH:     obs.H("detect.ensemble.seconds"),
+		images:      obs.C("detect.ensemble.images"),
+		attackC:     obs.C("detect.ensemble.attack"),
+		benignC:     obs.C("detect.ensemble.benign"),
+		batchH:      obs.H("detect.batch.seconds"),
+		batchImages: obs.C("detect.batch.images"),
 	}, nil
 }
 
@@ -63,14 +73,65 @@ func (e *Ensemble) Detectors() []*Detector {
 }
 
 // Detect runs every member concurrently (via parallel.Do, one task per
-// method, bounded by GOMAXPROCS) and majority-votes. It honours ctx
-// cancellation between and during method launches; the first scoring error
-// — by detector order — aborts the ensemble.
+// method, bounded by GOMAXPROCS) and majority-votes. The members score
+// through the stage-DAG pipeline: each expensive substrate (gray plane,
+// round trip, erosion, spectrum) is computed exactly once per image and
+// shared, with scores bit-identical to the legacy per-scorer path
+// (DetectLegacy). It honours ctx cancellation between and during method
+// launches; the first scoring error — by detector order — aborts the
+// ensemble.
 //
 // Observability: the whole call is one stage ("ensemble.detect", latency
-// in detect.ensemble.seconds) with each method's span nested under it, and
-// the vote outcome recorded on the detect.ensemble.attack/benign counters.
+// in detect.ensemble.seconds) with each method's span nested under it —
+// pipeline stage spans nest under the method that computed them — and the
+// vote outcome recorded on the detect.ensemble.attack/benign counters.
+//
+//declint:nan-ok delegates to detect, whose Validate runs first
 func (e *Ensemble) Detect(ctx context.Context, img *imgcore.Image) (*EnsembleVerdict, error) {
+	return e.detect(ctx, img)
+}
+
+// detect is Detect with parallel options threaded through (the
+// differential suite pins Workers(1) vs Workers(N) equivalence; the fused
+// batch path serializes member dispatch per image).
+func (e *Ensemble) detect(ctx context.Context, img *imgcore.Image, popts ...parallel.Option) (*EnsembleVerdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	sctx, st := obs.StartStage(ctx, "ensemble.detect", e.detectH)
+	defer st.End()
+	in := e.pipe.intermediates(img)
+	// parallel.Do waits for in-flight tasks even on error/cancellation, so
+	// no task can still be reading the pooled substrates when they return
+	// to their pools.
+	defer in.release()
+	verdicts := make([]Verdict, len(e.detectors))
+	tasks := make([]func() error, len(e.detectors))
+	for i, d := range e.detectors {
+		tasks[i] = func() error {
+			v, err := d.detectIn(sctx, in)
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name(), err)
+			}
+			verdicts[i] = v
+			return nil
+		}
+	}
+	if err := parallel.Do(ctx, tasks, popts...); err != nil {
+		return nil, err
+	}
+	return e.tally(st, verdicts), nil
+}
+
+// DetectLegacy runs every member through its standalone Score/ScoreCtx
+// path with no substrate sharing — the pre-pipeline ensemble pass. It is
+// retained as the differential oracle: the equivalence suite and the
+// BenchmarkEnsemble{Legacy,Pipeline} pair pin that Detect produces
+// bit-identical verdicts in strictly less work.
+func (e *Ensemble) DetectLegacy(ctx context.Context, img *imgcore.Image) (*EnsembleVerdict, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -94,6 +155,13 @@ func (e *Ensemble) Detect(ctx context.Context, img *imgcore.Image) (*EnsembleVer
 	if err := parallel.Do(ctx, tasks); err != nil {
 		return nil, err
 	}
+	return e.tally(st, verdicts), nil
+}
+
+// tally majority-votes the member verdicts, annotates the ensemble stage
+// span and records the outcome counters — the shared tail of every
+// ensemble pass.
+func (e *Ensemble) tally(st obs.Stage, verdicts []Verdict) *EnsembleVerdict {
 	votes := 0
 	for _, v := range verdicts {
 		if v.Attack {
@@ -113,6 +181,39 @@ func (e *Ensemble) Detect(ctx context.Context, img *imgcore.Image) (*EnsembleVer
 		e.attackC.Inc()
 	} else {
 		e.benignC.Inc()
+	}
+	return out
+}
+
+// DetectBatch runs the ensemble over many images concurrently (bounded by
+// GOMAXPROCS via the shared parallel substrate) and returns one verdict
+// per image, in order. Images fan out across workers while each image's
+// members run serially on its worker, so the batch is parallel without
+// oversubscribing the per-stage kernels; all images share the pipeline's
+// scaler and FFT-plan caches. It stops at the first error or context
+// cancellation. An empty batch returns an empty, non-nil verdict slice.
+//
+//declint:nan-ok per-image detect calls Validate before any scoring
+func (e *Ensemble) DetectBatch(ctx context.Context, imgs []*imgcore.Image) ([]*EnsembleVerdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bctx, st := obs.StartStage(ctx, "detect.batch", e.batchH)
+	defer st.End()
+	e.batchImages.Add(int64(len(imgs)))
+	out := make([]*EnsembleVerdict, len(imgs))
+	err := parallel.For(bctx, len(imgs), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			v, err := e.detect(bctx, imgs[i], parallel.Workers(1))
+			if err != nil {
+				return fmt.Errorf("detect: image %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

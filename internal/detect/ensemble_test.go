@@ -11,35 +11,6 @@ import (
 	"decamouflage/internal/steg"
 )
 
-// stubScorer returns a fixed score or error, for ensemble unit tests.
-type stubScorer struct {
-	name  string
-	score float64
-	err   error
-}
-
-func (s *stubScorer) Name() string { return s.name }
-
-func (s *stubScorer) Score(*imgcore.Image) (float64, error) {
-	return s.score, s.err
-}
-
-func stubDetector(t *testing.T, name string, score float64, attackSide bool) *Detector {
-	t.Helper()
-	th := Threshold{Value: 1, Direction: Above}
-	sc := score
-	if attackSide {
-		sc = 2 // above threshold
-	} else {
-		sc = 0
-	}
-	d, err := NewDetector(&stubScorer{name: name, score: sc}, th)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return d
-}
-
 func TestNewEnsembleValidation(t *testing.T) {
 	if _, err := NewEnsemble(); err == nil {
 		t.Error("empty ensemble accepted")

@@ -92,7 +92,8 @@ func TestDetectMetrics(t *testing.T) {
 	images0 := obs.C("detect.ensemble.images").Value()
 	scoreN0 := obs.H("detect.score.scaling/MSE.seconds").Count()
 	ensN0 := obs.H("detect.ensemble.seconds").Count()
-	stageN0 := obs.H("detect.stage.scaling/MSE.downscale.seconds").Count()
+	stageN0 := obs.H("detect.pipeline.downscale.seconds").Count()
+	memoMiss0 := obs.C("detect.pipeline.memo.misses").Value()
 	verdict0 := obs.C("detect.verdict.scaling/MSE.attack").Value() +
 		obs.C("detect.verdict.scaling/MSE.benign").Value()
 
@@ -113,8 +114,11 @@ func TestDetectMetrics(t *testing.T) {
 	if got := obs.H("detect.ensemble.seconds").Count() - ensN0; got != 1 {
 		t.Errorf("ensemble histogram delta = %d, want 1", got)
 	}
-	if got := obs.H("detect.stage.scaling/MSE.downscale.seconds").Count() - stageN0; got != 1 {
+	if got := obs.H("detect.pipeline.downscale.seconds").Count() - stageN0; got != 1 {
 		t.Errorf("downscale stage histogram delta = %d, want 1", got)
+	}
+	if got := obs.C("detect.pipeline.memo.misses").Value() - memoMiss0; got <= 0 {
+		t.Errorf("pipeline memo miss delta = %d, want > 0", got)
 	}
 	got := obs.C("detect.verdict.scaling/MSE.attack").Value() +
 		obs.C("detect.verdict.scaling/MSE.benign").Value()

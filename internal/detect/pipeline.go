@@ -1,0 +1,499 @@
+// The stage-DAG pipeline engine. An ensemble pass over one image is a
+// small DAG of typed stages:
+//
+//	input tensor ──┬─▶ grayscale ──▶ 2-D spectrum ──▶ CSP count
+//	               │       └───────▶ SSIM reference
+//	               ├─▶ downscale ──▶ upscale round trip ──▶ metric score
+//	               └─▶ min-filter ─────────────────────────▶ metric score
+//
+// The legacy per-scorer path re-derives shared substrates per method: an
+// ensemble with several scaling or filtering members recomputes round
+// trips, gray planes and spectra it already has. The pipeline instead
+// gives every image one Intermediates table whose entries are memoized by
+// stage identity (stageKey), so each substrate is computed exactly once
+// per image no matter how many scorers request it, and derived scores
+// (PSNR from a memoized MSE, every SSIM from one prepared reference)
+// reuse the heavy work. Pipeline-level LRU caches share prepared scalers
+// and 2-D FFT plans across all images of a batch, and pooled pixel
+// buffers flow through the request instead of being allocated per stage.
+//
+// Scores are bit-identical to the legacy path (pinned by the differential
+// suite in pipeline_diff_test.go): every stage runs the same kernels in
+// the same order as its legacy counterpart, memoization only removes
+// repeated identical computations, and buffer pooling only changes where
+// results are written, not what is written.
+package detect
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"decamouflage/internal/cache"
+	"decamouflage/internal/filtering"
+	"decamouflage/internal/fourier"
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/metrics"
+	"decamouflage/internal/obs"
+	"decamouflage/internal/scaling"
+	"decamouflage/internal/steg"
+)
+
+// PipelineScorer is a Scorer that can score through a per-image
+// Intermediates table, sharing memoized substrates with the other members
+// of an ensemble. The built-in scorers implement it; third-party scorers
+// that don't fall back to Score/ScoreCtx on the un-shared input image.
+type PipelineScorer interface {
+	Scorer
+	// ScorePipeline computes the raw metric value for the image behind in,
+	// requesting every expensive substrate from in's memo table.
+	ScorePipeline(ctx context.Context, in *Intermediates) (float64, error)
+}
+
+// Interface compliance.
+var (
+	_ PipelineScorer = (*ScalingScorer)(nil)
+	_ PipelineScorer = (*FilteringScorer)(nil)
+	_ PipelineScorer = (*StegScorer)(nil)
+)
+
+// stageKind enumerates the typed stages of the detection DAG.
+type stageKind uint8
+
+const (
+	stageGray stageKind = iota + 1
+	stageRoundTrip
+	stageMinFilter
+	stageSpectrum
+	stageCSP
+	stageSSIMRef
+	stageMSE
+)
+
+// stageKey is the identity of one stage instance for one image: the stage
+// kind plus every parameter that changes its output. Two scorers whose
+// keys are equal provably need the same bytes, so they share one memo
+// entry.
+type stageKey struct {
+	kind stageKind
+	// of is the substrate kind a derived stage (stageMSE) consumes.
+	of stageKind
+	// dstW/dstH/sopts identify a round trip's downscale geometry.
+	dstW, dstH int
+	sopts      scaling.Options
+	// window identifies a minimum-filter stage.
+	window int
+	// gopts identifies a CSP stage (resolved, so zero-valued and
+	// explicitly-defaulted options share an entry).
+	gopts steg.Options
+}
+
+// memoEntry is a once-computed stage result.
+type memoEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Pipeline holds the cross-image state of the stage engine: prepared-
+// scaler and FFT-plan caches shared by every image of a batch, the memo
+// hit/miss counters, and the per-stage latency histograms. An Ensemble
+// owns one Pipeline for its lifetime; it is safe for concurrent use.
+type Pipeline struct {
+	scalers *cache.LRU[scalerKey, *scaling.Scaler]
+	plans   *cache.LRU[geomKey, *fourier.Plan2D]
+	memo    *obs.MemoStats
+
+	grayH, downH, upH, minH, specH, cspH, metricH *obs.Histogram
+}
+
+type scalerKey struct {
+	srcW, srcH, dstW, dstH int
+	opts                   scaling.Options
+}
+
+type geomKey struct{ w, h int }
+
+// Cache capacities: a deployment scores against a handful of geometries
+// (one per protected model, plus the round-trip inverses), so small LRUs
+// hold the whole working set while bounding pathological geometry scans.
+const (
+	scalerCacheCap = 32
+	planCacheCap   = 16
+)
+
+// NewPipeline builds a stage engine with empty caches.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		scalers: cache.NewLRU[scalerKey, *scaling.Scaler](scalerCacheCap, obs.NewCacheStats("detect.pipeline.scalers")),
+		plans:   cache.NewLRU[geomKey, *fourier.Plan2D](planCacheCap, obs.NewCacheStats("detect.pipeline.plans")),
+		memo:    obs.NewMemoStats("detect.pipeline.memo"),
+		grayH:   obs.H("detect.pipeline.gray.seconds"),
+		downH:   obs.H("detect.pipeline.downscale.seconds"),
+		upH:     obs.H("detect.pipeline.upscale.seconds"),
+		minH:    obs.H("detect.pipeline.minfilter.seconds"),
+		specH:   obs.H("detect.pipeline.spectrum.seconds"),
+		cspH:    obs.H("detect.pipeline.csp.seconds"),
+		metricH: obs.H("detect.pipeline.metric.seconds"),
+	}
+}
+
+// scalerFor returns the prepared scaler for one full resize geometry,
+// built once and shared across the batch.
+func (p *Pipeline) scalerFor(srcW, srcH, dstW, dstH int, opts scaling.Options) (*scaling.Scaler, error) {
+	return p.scalers.GetOrBuild(scalerKey{srcW, srcH, dstW, dstH, opts}, func() (*scaling.Scaler, error) {
+		return scaling.NewScaler(srcW, srcH, dstW, dstH, opts)
+	})
+}
+
+// planFor returns the forward 2-D FFT plan for one geometry, built once
+// and shared across the batch.
+func (p *Pipeline) planFor(w, h int) (*fourier.Plan2D, error) {
+	return p.plans.GetOrBuild(geomKey{w, h}, func() (*fourier.Plan2D, error) {
+		return fourier.Plan2DFor(w, h)
+	})
+}
+
+// intermediates opens a fresh per-image memo table over img.
+func (p *Pipeline) intermediates(img *imgcore.Image) *Intermediates {
+	return &Intermediates{pipe: p, img: img, entries: make(map[stageKey]*memoEntry)}
+}
+
+// Intermediates is the per-image memo table of the stage DAG. Scorers
+// request substrates from it; the first request computes, every later
+// request — from any goroutine — reuses the result. release returns the
+// pooled buffers behind the memoized values, so the table and everything
+// it handed out must not be used afterwards.
+type Intermediates struct {
+	pipe *Pipeline
+	img  *imgcore.Image
+
+	mu      sync.Mutex
+	entries map[stageKey]*memoEntry
+
+	// hits/misses mirror the pipe.memo obs counters but always count, so
+	// tests can pin exactly-once computation under -tags noobs too.
+	hits, misses atomic.Int64
+
+	relMu    sync.Mutex
+	released []func()
+}
+
+// Image returns the image the table memoizes over.
+func (in *Intermediates) Image() *imgcore.Image { return in.img }
+
+// memo returns the stage value for key, computing it at most once.
+func (in *Intermediates) memo(key stageKey, compute func() (any, error)) (any, error) {
+	in.mu.Lock()
+	e, ok := in.entries[key]
+	if !ok {
+		e = &memoEntry{}
+		in.entries[key] = e
+	}
+	in.mu.Unlock()
+	first := false
+	e.once.Do(func() {
+		first = true
+		e.val, e.err = compute()
+	})
+	if first {
+		in.misses.Add(1)
+		in.pipe.memo.Miss()
+	} else {
+		in.hits.Add(1)
+		in.pipe.memo.Hit()
+	}
+	return e.val, e.err
+}
+
+// deferRelease registers a cleanup to run when the request finishes.
+func (in *Intermediates) deferRelease(f func()) {
+	in.relMu.Lock()
+	in.released = append(in.released, f)
+	in.relMu.Unlock()
+}
+
+// release returns every pooled buffer the table handed out. Safe to call
+// after parallel.Do/For over the scorers returned: the parallel substrate
+// waits for in-flight tasks even on error or cancellation.
+func (in *Intermediates) release() {
+	in.relMu.Lock()
+	fs := in.released
+	in.released = nil
+	in.relMu.Unlock()
+	for _, f := range fs {
+		f()
+	}
+}
+
+// pixPool recycles the pixel planes of pooled stage outputs. Buffers are
+// not zeroed on reuse: every stage fully overwrites its output (grayInto
+// writes every sample; ResizeInto's passes assign every sample).
+var pixPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// pooledImage draws an image of the given geometry from the pixel pool.
+// The caller must hand the returned put func to deferRelease (or call it)
+// exactly once.
+func pooledImage(w, h, c int) (img *imgcore.Image, put func()) {
+	n := w * h * c
+	bp := pixPool.Get().(*[]float64)
+	b := *bp
+	if cap(b) < n {
+		b = make([]float64, n)
+	}
+	*bp = b[:n]
+	return &imgcore.Image{W: w, H: h, C: c, Pix: *bp}, func() { pixPool.Put(bp) }
+}
+
+// grayInto writes the BT.601 luminance of a 3-channel pixel plane into
+// dst (len(dst)·3 == len(pix)), with the exact weights and expression of
+// imgcore's Gray so the pipeline's gray plane is bit-identical to the
+// legacy path's.
+//
+//declint:hot
+func grayInto(dst, pix []float64) {
+	for i := range dst {
+		r := pix[i*3]
+		g := pix[i*3+1]
+		b := pix[i*3+2]
+		dst[i] = 0.299*r + 0.587*g + 0.114*b
+	}
+}
+
+// gray returns the single-channel luminance view of the image: the image
+// itself when it is already single-channel, otherwise a pooled BT.601
+// conversion computed once per image.
+func (in *Intermediates) gray(ctx context.Context) (*imgcore.Image, error) {
+	v, err := in.memo(stageKey{kind: stageGray}, func() (any, error) {
+		if in.img.C == 1 {
+			return in.img, nil
+		}
+		if in.img.C != 3 {
+			return nil, fmt.Errorf("detect: cannot gray %d-channel image", in.img.C)
+		}
+		_, st := obs.StartStage(ctx, "pipeline.gray", in.pipe.grayH)
+		g, put := pooledImage(in.img.W, in.img.H, 1)
+		in.deferRelease(put)
+		grayInto(g.Pix, in.img.Pix)
+		st.End()
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*imgcore.Image), nil
+}
+
+// roundTrip returns the Method-1 reconstruction for one downscale
+// geometry: img downscaled to (key.dstW × key.dstH) and upscaled back to
+// its own size, computed once per (geometry, options).
+func (in *Intermediates) roundTrip(ctx context.Context, key stageKey) (*imgcore.Image, error) {
+	v, err := in.memo(key, func() (any, error) {
+		img := in.img
+		downScaler, err := in.pipe.scalerFor(img.W, img.H, key.dstW, key.dstH, key.sopts)
+		if err != nil {
+			return nil, fmt.Errorf("detect: scaling downscale: %w", err)
+		}
+		upScaler, err := in.pipe.scalerFor(key.dstW, key.dstH, img.W, img.H, key.sopts)
+		if err != nil {
+			return nil, fmt.Errorf("detect: scaling upscale: %w", err)
+		}
+		_, st := obs.StartStage(ctx, "pipeline.downscale", in.pipe.downH)
+		down, putDown := pooledImage(key.dstW, key.dstH, img.C)
+		err = downScaler.ResizeInto(ctx, img, down)
+		st.End()
+		if err != nil {
+			putDown()
+			return nil, fmt.Errorf("detect: scaling downscale: %w", err)
+		}
+		_, st = obs.StartStage(ctx, "pipeline.upscale", in.pipe.upH)
+		up, putUp := pooledImage(img.W, img.H, img.C)
+		err = upScaler.ResizeInto(ctx, down, up)
+		st.End()
+		putDown()
+		if err != nil {
+			putUp()
+			return nil, fmt.Errorf("detect: scaling upscale: %w", err)
+		}
+		in.deferRelease(putUp)
+		return up, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*imgcore.Image), nil
+}
+
+// minFiltered returns the Method-2 erosion of the image for one window
+// size, computed once per window.
+func (in *Intermediates) minFiltered(ctx context.Context, window int) (*imgcore.Image, error) {
+	v, err := in.memo(stageKey{kind: stageMinFilter, window: window}, func() (any, error) {
+		_, st := obs.StartStage(ctx, "pipeline.minfilter", in.pipe.minH)
+		f, err := filtering.MinimumCtx(ctx, in.img, window)
+		st.End()
+		if err != nil {
+			return nil, fmt.Errorf("detect: minimum filter: %w", err)
+		}
+		return f, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*imgcore.Image), nil
+}
+
+// spectrum returns the centered log-magnitude spectrum of the luminance
+// plane, computed once per image through the batch-shared FFT plan.
+func (in *Intermediates) spectrum(ctx context.Context) ([]float64, error) {
+	v, err := in.memo(stageKey{kind: stageSpectrum}, func() (any, error) {
+		g, err := in.gray(ctx)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := in.pipe.planFor(g.W, g.H)
+		if err != nil {
+			return nil, fmt.Errorf("steg: spectrum: %w", err)
+		}
+		_, st := obs.StartStage(ctx, "pipeline.spectrum", in.pipe.specH)
+		spec, err := fourier.CenteredSpectrumWith(ctx, plan, g.Pix, g.W, g.H)
+		st.End()
+		if err != nil {
+			return nil, fmt.Errorf("steg: spectrum: %w", err)
+		}
+		return spec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]float64), nil
+}
+
+// csp returns the Method-3 centered-spectrum-point count under opts,
+// computed once per resolved option set on the shared spectrum.
+func (in *Intermediates) csp(ctx context.Context, opts steg.Options) (int, error) {
+	key := stageKey{kind: stageCSP, gopts: opts.Resolved(in.img.W, in.img.H)}
+	v, err := in.memo(key, func() (any, error) {
+		spec, err := in.spectrum(ctx)
+		if err != nil {
+			return nil, err
+		}
+		_, st := obs.StartStage(ctx, "pipeline.csp", in.pipe.cspH)
+		a, err := steg.AnalyzeSpectrum(spec, in.img.W, in.img.H, key.gopts)
+		st.End()
+		if err != nil {
+			return nil, err
+		}
+		return a.Count, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(int), nil
+}
+
+// ssimRef returns the prepared SSIM reference of the image's luminance
+// plane, built once per image and scored against every method's
+// reconstruction.
+func (in *Intermediates) ssimRef(ctx context.Context) (*metrics.SSIMRef, error) {
+	v, err := in.memo(stageKey{kind: stageSSIMRef}, func() (any, error) {
+		g, err := in.gray(ctx)
+		if err != nil {
+			return nil, err
+		}
+		_, st := obs.StartStage(ctx, "pipeline.metric", in.pipe.metricH)
+		ref, err := metrics.NewSSIMRef(ctx, g, metrics.DefaultSSIM())
+		st.End()
+		if err != nil {
+			return nil, err
+		}
+		in.deferRelease(ref.Release)
+		return ref, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*metrics.SSIMRef), nil
+}
+
+// mseAgainst returns the MSE between the image and the substrate behind
+// sub, computed once per substrate and shared by the MSE and PSNR scores.
+func (in *Intermediates) mseAgainst(ctx context.Context, sub stageKey, other *imgcore.Image) (float64, error) {
+	key := stageKey{kind: stageMSE, of: sub.kind, dstW: sub.dstW, dstH: sub.dstH, sopts: sub.sopts, window: sub.window}
+	v, err := in.memo(key, func() (any, error) {
+		_, st := obs.StartStage(ctx, "pipeline.metric", in.pipe.metricH)
+		m, err := metrics.MSE(in.img, other)
+		st.End()
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
+}
+
+// scoreAgainst scores the image against one reconstructed substrate with
+// the given metric, sharing the MSE between MSE and PSNR and the prepared
+// reference between every SSIM score.
+func (in *Intermediates) scoreAgainst(ctx context.Context, m Metric, sub stageKey, other *imgcore.Image) (float64, error) {
+	switch m {
+	case MSE:
+		return in.mseAgainst(ctx, sub, other)
+	case PSNR:
+		mse, err := in.mseAgainst(ctx, sub, other)
+		if err != nil {
+			return 0, err
+		}
+		return metrics.PSNRFromMSE(mse), nil
+	case SSIM:
+		ref, err := in.ssimRef(ctx)
+		if err != nil {
+			return 0, err
+		}
+		_, st := obs.StartStage(ctx, "pipeline.metric", in.pipe.metricH)
+		v, err := ref.ScoreCtx(ctx, other)
+		st.End()
+		return v, err
+	default:
+		return 0, fmt.Errorf("detect: unsupported metric %v", m)
+	}
+}
+
+// ScorePipeline implements PipelineScorer: the round trip is a memoized
+// substrate shared by every scaling scorer of the same geometry, and the
+// score derives from the shared MSE/SSIM machinery.
+func (s *ScalingScorer) ScorePipeline(ctx context.Context, in *Intermediates) (float64, error) {
+	dstW, dstH := s.scaler.DstSize()
+	key := stageKey{kind: stageRoundTrip, dstW: dstW, dstH: dstH, sopts: s.scaler.Options()}
+	up, err := in.roundTrip(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	return in.scoreAgainst(ctx, s.metric, key, up)
+}
+
+// ScorePipeline implements PipelineScorer: the erosion is a memoized
+// substrate shared by every filtering scorer of the same window.
+func (s *FilteringScorer) ScorePipeline(ctx context.Context, in *Intermediates) (float64, error) {
+	key := stageKey{kind: stageMinFilter, window: s.window}
+	f, err := in.minFiltered(ctx, s.window)
+	if err != nil {
+		return 0, err
+	}
+	return in.scoreAgainst(ctx, s.metric, key, f)
+}
+
+// ScorePipeline implements PipelineScorer: the spectrum is computed once
+// per image and the component count once per resolved option set.
+//
+//declint:nan-ok delegates to the memoized CSP stage; NaN/Inf totality is pinned by FuzzPipelineDetect
+func (s *StegScorer) ScorePipeline(ctx context.Context, in *Intermediates) (float64, error) {
+	n, err := in.csp(ctx, s.opts)
+	if err != nil {
+		return 0, fmt.Errorf("detect: csp: %w", err)
+	}
+	return float64(n), nil
+}

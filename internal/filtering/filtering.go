@@ -29,6 +29,13 @@ func Minimum(img *imgcore.Image, size int) (*imgcore.Image, error) {
 	return minMaxFilter(context.Background(), img, size, false)
 }
 
+// MinimumCtx is Minimum honouring ctx cancellation in its parallel sweeps,
+// for callers (the detection pipeline) that thread a request context
+// through every stage. Output is bit-identical to Minimum's.
+func MinimumCtx(ctx context.Context, img *imgcore.Image, size int) (*imgcore.Image, error) {
+	return minMaxFilter(ctx, img, size, false)
+}
+
 // Maximum applies a size×size maximum filter (grayscale dilation). Like
 // Minimum, it runs the separable van Herk–Gil–Werman sweep.
 func Maximum(img *imgcore.Image, size int) (*imgcore.Image, error) {

@@ -233,53 +233,7 @@ func transform2D(ctx context.Context, m *Matrix, inverse bool, opts ...parallel.
 	if err != nil {
 		return nil, err
 	}
-	out := &Matrix{W: m.W, H: m.H, Data: append([]complex128(nil), m.Data...)}
-	// Rows: each chunk transforms a disjoint band of rows in place.
-	rowOpts := append([]parallel.Option{
-		parallel.Grain(parallel.GrainForWidth(m.W, minTransformWork)),
-	}, opts...)
-	err = parallel.For(ctx, m.H, func(lo, hi int) error {
-		for y := lo; y < hi; y++ {
-			if err := rowPlan.Transform(out.Data[y*m.W : (y+1)*m.W]); err != nil {
-				return err
-			}
-		}
-		return nil
-	}, rowOpts...)
-	if err != nil {
-		return nil, err
-	}
-	// Columns: each chunk gathers, transforms and scatters a disjoint band
-	// of columns through its own pooled scratch buffer.
-	colOpts := append([]parallel.Option{
-		parallel.Grain(parallel.GrainForWidth(m.H, minTransformWork)),
-	}, opts...)
-	err = parallel.For(ctx, m.W, func(lo, hi int) error {
-		cp := colScratch.Get().(*[]complex128)
-		defer colScratch.Put(cp)
-		col := *cp
-		if cap(col) < m.H {
-			col = make([]complex128, m.H)
-			*cp = col
-		}
-		col = col[:m.H]
-		for x := lo; x < hi; x++ {
-			for y := 0; y < m.H; y++ {
-				col[y] = out.Data[y*m.W+x]
-			}
-			if err := colPlan.Transform(col); err != nil {
-				return err
-			}
-			for y := 0; y < m.H; y++ {
-				out.Data[y*m.W+x] = col[y]
-			}
-		}
-		return nil
-	}, colOpts...)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return transform2DWith(ctx, m, rowPlan, colPlan, opts...)
 }
 
 // Shift applies the fftshift quadrant swap so that the zero-frequency
@@ -320,18 +274,5 @@ func CenteredSpectrum(data []float64, w, h int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	logMag := LogMagnitude(Shift(spec))
-	var mx float64
-	for _, v := range logMag {
-		if v > mx {
-			mx = v
-		}
-	}
-	if mx > 0 {
-		inv := 1 / mx
-		for i := range logMag {
-			logMag[i] *= inv
-		}
-	}
-	return logMag, nil
+	return centeredFromSpectrum(spec), nil
 }

@@ -1,0 +1,134 @@
+// 2-D transform plans. A Plan2D bundles the row- and column-direction 1-D
+// plans of a forward 2-D DFT for one geometry, so callers that transform
+// many same-sized signals (the detection pipeline scoring a batch of
+// images) resolve the plan cache once per geometry instead of twice per
+// image. Executing through a Plan2D performs exactly the arithmetic of
+// Transform2D/CenteredSpectrum — the plans are the same cached objects
+// PlanFor returns — so planned 2-D output is bit-identical to the
+// unplanned entry points.
+package fourier
+
+import (
+	"context"
+	"fmt"
+
+	"decamouflage/internal/parallel"
+)
+
+// Plan2D is an immutable forward 2-D DFT descriptor for one (W, H)
+// geometry. It is safe for concurrent use, like the 1-D plans it bundles.
+type Plan2D struct {
+	row *Plan // length W, forward
+	col *Plan // length H, forward
+}
+
+// Plan2DFor returns the forward 2-D plan for a w×h signal, drawing both
+// axis plans from the shared plan cache (PlanFor).
+func Plan2DFor(w, h int) (*Plan2D, error) {
+	row, err := PlanFor(w, false)
+	if err != nil {
+		return nil, err
+	}
+	col, err := PlanFor(h, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan2D{row: row, col: col}, nil
+}
+
+// Size returns the geometry the plan was built for.
+func (p *Plan2D) Size() (w, h int) { return p.row.N(), p.col.N() }
+
+// CenteredSpectrumWith is CenteredSpectrum executing through a prepared
+// plan and honouring ctx cancellation in its parallel passes. A nil plan
+// resolves one from the shared cache; a non-nil plan must match (w, h).
+// Output is bit-identical to CenteredSpectrum for every input.
+func CenteredSpectrumWith(ctx context.Context, p *Plan2D, data []float64, w, h int) ([]float64, error) {
+	m, err := FromReal(data, w, h)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		if p, err = Plan2DFor(w, h); err != nil {
+			return nil, err
+		}
+	} else if pw, ph := p.Size(); pw != w || ph != h {
+		return nil, fmt.Errorf("fourier: plan geometry %dx%d does not match signal %dx%d", pw, ph, w, h)
+	}
+	spec, err := transform2DWith(ctx, m, p.row, p.col)
+	if err != nil {
+		return nil, err
+	}
+	return centeredFromSpectrum(spec), nil
+}
+
+// centeredFromSpectrum runs the shift/log-magnitude/normalize tail shared
+// by CenteredSpectrum and CenteredSpectrumWith.
+func centeredFromSpectrum(spec *Matrix) []float64 {
+	logMag := LogMagnitude(Shift(spec))
+	var mx float64
+	for _, v := range logMag {
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx > 0 {
+		inv := 1 / mx
+		for i := range logMag {
+			logMag[i] *= inv
+		}
+	}
+	return logMag
+}
+
+// transform2DWith is transform2D with both axis plans supplied by the
+// caller; transform2D resolves them from the cache and delegates here.
+func transform2DWith(ctx context.Context, m *Matrix, rowPlan, colPlan *Plan, opts ...parallel.Option) (*Matrix, error) {
+	out := &Matrix{W: m.W, H: m.H, Data: append([]complex128(nil), m.Data...)}
+	// Rows: each chunk transforms a disjoint band of rows in place.
+	rowOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(m.W, minTransformWork)),
+	}, opts...)
+	err := parallel.For(ctx, m.H, func(lo, hi int) error {
+		for y := lo; y < hi; y++ {
+			if err := rowPlan.Transform(out.Data[y*m.W : (y+1)*m.W]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, rowOpts...)
+	if err != nil {
+		return nil, err
+	}
+	// Columns: each chunk gathers, transforms and scatters a disjoint band
+	// of columns through its own pooled scratch buffer.
+	colOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(m.H, minTransformWork)),
+	}, opts...)
+	err = parallel.For(ctx, m.W, func(lo, hi int) error {
+		cp := colScratch.Get().(*[]complex128)
+		defer colScratch.Put(cp)
+		col := *cp
+		if cap(col) < m.H {
+			col = make([]complex128, m.H)
+			*cp = col
+		}
+		col = col[:m.H]
+		for x := lo; x < hi; x++ {
+			for y := 0; y < m.H; y++ {
+				col[y] = out.Data[y*m.W+x]
+			}
+			if err := colPlan.Transform(col); err != nil {
+				return err
+			}
+			for y := 0; y < m.H; y++ {
+				out.Data[y*m.W+x] = col[y]
+			}
+		}
+		return nil
+	}, colOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

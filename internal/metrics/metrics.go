@@ -57,12 +57,20 @@ func PSNR(a, b *imgcore.Image) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return PSNRFromMSE(mse), nil
+}
+
+// PSNRFromMSE converts an already-computed mean squared error into the PSNR
+// score, bit-identical to PSNR's own conversion. The detection pipeline
+// uses it to derive the PSNR score from a memoized MSE without touching the
+// pixels again.
+func PSNRFromMSE(mse float64) float64 {
 	//declint:ignore floateq exact-zero MSE is the documented identical-images +Inf case
 	if mse == 0 {
-		return math.Inf(1), nil
+		return math.Inf(1)
 	}
 	const peak = 255.0
-	return 10 * math.Log10(peak*peak/mse), nil
+	return 10 * math.Log10(peak*peak/mse)
 }
 
 // SSIMOptions configures the structural similarity computation.
@@ -333,23 +341,54 @@ func blurOpts(w, h, klen int, popts []parallel.Option) (rowOpts, colOpts []paral
 //
 //declint:hot
 func convolveRows(tmp, src []float64, w int, kern []float64, r, yLo, yHi int) {
+	// Interior columns [lo, hi) have the kernel fully inside the row, so
+	// the clamp branches vanish from the inner loop. The per-element tap
+	// order (k ascending) matches the clamped loop exactly, keeping the
+	// result bit-identical.
+	lo := r
+	if lo > w {
+		lo = w
+	}
+	hi := w - r
+	if hi < lo {
+		hi = lo
+	}
 	for y := yLo; y < yHi; y++ {
 		row := src[y*w : (y+1)*w]
 		out := tmp[y*w : (y+1)*w]
-		for x := 0; x < w; x++ {
+		for x := 0; x < lo; x++ {
+			out[x] = convolveClampedAt(row, w, kern, r, x)
+		}
+		for x := lo; x < hi; x++ {
 			var s float64
-			for k := -r; k <= r; k++ {
-				xx := x + k
-				if xx < 0 {
-					xx = 0
-				} else if xx >= w {
-					xx = w - 1
-				}
-				s += kern[k+r] * row[xx]
+			base := x - r
+			for k := range kern {
+				s += kern[k] * row[base+k]
 			}
 			out[x] = s
 		}
+		for x := hi; x < w; x++ {
+			out[x] = convolveClampedAt(row, w, kern, r, x)
+		}
 	}
+}
+
+// convolveClampedAt computes one output sample with replicate clamping,
+// taps in ascending k order.
+//
+//declint:hot
+func convolveClampedAt(row []float64, w int, kern []float64, r, x int) float64 {
+	var s float64
+	for k := -r; k <= r; k++ {
+		xx := x + k
+		if xx < 0 {
+			xx = 0
+		} else if xx >= w {
+			xx = w - 1
+		}
+		s += kern[k+r] * row[xx]
+	}
+	return s
 }
 
 // convolveCols writes the vertical pass for columns [xLo, xHi): dst column
@@ -357,20 +396,57 @@ func convolveRows(tmp, src []float64, w int, kern []float64, r, yLo, yHi int) {
 //
 //declint:hot
 func convolveCols(dst, tmp []float64, w, h int, kern []float64, r, xLo, xHi int) {
-	for x := xLo; x < xHi; x++ {
-		for y := 0; y < h; y++ {
+	// Interior rows [lo, hi) need no clamping; iterating y outermost and
+	// x innermost turns the column walk into contiguous row reads. The
+	// per-element tap order (k ascending) is unchanged either way, so the
+	// sums are bit-identical to the clamped loop.
+	lo := r
+	if lo > h {
+		lo = h
+	}
+	hi := h - r
+	if hi < lo {
+		hi = lo
+	}
+	for y := 0; y < lo; y++ {
+		convolveColsClampedRow(dst, tmp, w, h, kern, r, xLo, xHi, y)
+	}
+	for y := lo; y < hi; y++ {
+		base := (y - r) * w
+		out := dst[y*w : (y+1)*w]
+		for x := xLo; x < xHi; x++ {
 			var s float64
-			for k := -r; k <= r; k++ {
-				yy := y + k
-				if yy < 0 {
-					yy = 0
-				} else if yy >= h {
-					yy = h - 1
-				}
-				s += kern[k+r] * tmp[yy*w+x]
+			idx := base + x
+			for k := range kern {
+				s += kern[k] * tmp[idx]
+				idx += w
 			}
-			dst[y*w+x] = s
+			out[x] = s
 		}
+	}
+	for y := hi; y < h; y++ {
+		convolveColsClampedRow(dst, tmp, w, h, kern, r, xLo, xHi, y)
+	}
+}
+
+// convolveColsClampedRow computes output row y of the vertical pass with
+// replicate clamping, taps in ascending k order.
+//
+//declint:hot
+func convolveColsClampedRow(dst, tmp []float64, w, h int, kern []float64, r, xLo, xHi, y int) {
+	out := dst[y*w : (y+1)*w]
+	for x := xLo; x < xHi; x++ {
+		var s float64
+		for k := -r; k <= r; k++ {
+			yy := y + k
+			if yy < 0 {
+				yy = 0
+			} else if yy >= h {
+				yy = h - 1
+			}
+			s += kern[k+r] * tmp[yy*w+x]
+		}
+		out[x] = s
 	}
 }
 

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/parallel"
+)
+
+// SSIMRef is a prepared SSIM reference: the luminance plane, local means
+// and local second moments of one image, precomputed so the image can be
+// scored against many comparands without re-deriving its side of the
+// computation. The detection pipeline builds one SSIMRef per input image
+// and scores every method's reconstruction against it.
+//
+// Scores are bit-identical to SSIMWith(a, b, opts): the reference-side
+// buffers hold exactly the values ssimWith would compute (the per-element
+// products and Gaussian sweeps do not depend on the comparand), and
+// ScoreCtx runs the identical comparand-side passes and the identical
+// serial reduction.
+//
+// A reference is safe for concurrent ScoreCtx calls (they only read the
+// shared buffers). Release returns the buffers to the scratch pool; the
+// reference must not be used afterwards.
+type SSIMRef struct {
+	opts SSIMOptions
+	w, h int
+	kern []float64
+	ga   []float64 // luminance plane of the reference
+	muA  []float64 // Gaussian local means of ga
+	sAA  []float64 // Gaussian local means of ga²
+	pins []*[]float64
+}
+
+// NewSSIMRef precomputes the reference side of an SSIM comparison against a.
+func NewSSIMRef(ctx context.Context, a *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (*SSIMRef, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	w, h := a.W, a.H
+	n := w * h
+	r := &SSIMRef{opts: opts, w: w, h: h, kern: kernelFor(opts.WindowRadius, opts.Sigma)}
+	release := func() {
+		for _, p := range r.pins {
+			putScratch(p)
+		}
+	}
+	// Own a copy of the luminance plane: grayPix may return a view of a.Pix,
+	// and the reference must stay valid if the caller mutates or recycles a.
+	gaPix, gaP := grayPix(a)
+	gap := getScratch(n)
+	copy(*gap, gaPix)
+	if gaP != nil {
+		putScratch(gaP)
+	}
+	r.pins = append(r.pins, gap)
+	r.ga = *gap
+
+	rowOpts, colOpts := blurOpts(w, h, len(r.kern), popts)
+	muAp := getScratch(n)
+	r.pins = append(r.pins, muAp)
+	r.muA = *muAp
+	if err := blurWith(ctx, r.muA, r.ga, w, h, r.kern, rowOpts, colOpts); err != nil {
+		release()
+		return nil, err
+	}
+	aap := getScratch(n)
+	aa := *aap
+	ga := r.ga
+	prodOpts := append([]parallel.Option{parallel.Grain(minBlurWork)}, popts...)
+	if err := parallel.For(ctx, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			aa[i] = ga[i] * ga[i]
+		}
+		return nil
+	}, prodOpts...); err != nil {
+		putScratch(aap)
+		release()
+		return nil, err
+	}
+	sAAp := getScratch(n)
+	r.pins = append(r.pins, sAAp)
+	r.sAA = *sAAp
+	err := blurWith(ctx, r.sAA, aa, w, h, r.kern, rowOpts, colOpts)
+	putScratch(aap)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Size returns the reference geometry.
+func (r *SSIMRef) Size() (w, h int) { return r.w, r.h }
+
+// Score is ScoreCtx without cancellation.
+//
+//declint:nan-ok delegates to ScoreCtx, whose Validate runs first
+func (r *SSIMRef) Score(b *imgcore.Image) (float64, error) {
+	return r.ScoreCtx(context.Background(), b)
+}
+
+// ScoreCtx returns the mean SSIM index between the reference image and b,
+// bit-identical to SSIMWith(a, b, opts). Unlike SSIMWith, only the W×H
+// geometry must match: both sides are scored on their luminance planes, so
+// a reference built from a single-channel image can score multi-channel
+// comparands of the same geometry (the pipeline scores RGB round-trips
+// against the shared grayscale plane this way).
+func (r *SSIMRef) ScoreCtx(ctx context.Context, b *imgcore.Image, popts ...parallel.Option) (float64, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if b.W != r.w || b.H != r.h {
+		return 0, fmt.Errorf("%w: ref %dx%d vs %v", ErrShapeMismatch, r.w, r.h, b)
+	}
+	w, h, n := r.w, r.h, r.w*r.h
+	gbPix, gbP := grayPix(b)
+	if gbP != nil {
+		defer putScratch(gbP)
+	}
+	rowOpts, colOpts := blurOpts(w, h, len(r.kern), popts)
+	muBp := getScratch(n)
+	defer putScratch(muBp)
+	muB := *muBp
+	if err := blurWith(ctx, muB, gbPix, w, h, r.kern, rowOpts, colOpts); err != nil {
+		return 0, err
+	}
+	bbp, abp := getScratch(n), getScratch(n)
+	defer putScratch(bbp)
+	defer putScratch(abp)
+	bb, ab := *bbp, *abp
+	ga := r.ga
+	prodOpts := append([]parallel.Option{parallel.Grain(minBlurWork)}, popts...)
+	if err := parallel.For(ctx, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			bb[i] = gbPix[i] * gbPix[i]
+			ab[i] = ga[i] * gbPix[i]
+		}
+		return nil
+	}, prodOpts...); err != nil {
+		return 0, err
+	}
+	sBBp, sABp := getScratch(n), getScratch(n)
+	defer putScratch(sBBp)
+	defer putScratch(sABp)
+	sBB, sAB := *sBBp, *sABp
+	if err := blurWith(ctx, sBB, bb, w, h, r.kern, rowOpts, colOpts); err != nil {
+		return 0, err
+	}
+	if err := blurWith(ctx, sAB, ab, w, h, r.kern, rowOpts, colOpts); err != nil {
+		return 0, err
+	}
+
+	c1 := (r.opts.K1 * r.opts.L) * (r.opts.K1 * r.opts.L)
+	c2 := (r.opts.K2 * r.opts.L) * (r.opts.K2 * r.opts.L)
+	muA, sAA := r.muA, r.sAA
+	var sum float64
+	for i := 0; i < n; i++ {
+		ma, mb := muA[i], muB[i]
+		varA := sAA[i] - ma*ma
+		varB := sBB[i] - mb*mb
+		cov := sAB[i] - ma*mb
+		num := (2*ma*mb + c1) * (2*cov + c2)
+		den := (ma*ma + mb*mb + c1) * (varA + varB + c2)
+		sum += num / den
+	}
+	return sum / float64(n), nil
+}
+
+// Release returns the reference's pooled buffers to the scratch pool. The
+// reference must not be scored against after Release; calling Release more
+// than once is a no-op.
+func (r *SSIMRef) Release() {
+	for _, p := range r.pins {
+		putScratch(p)
+	}
+	r.pins = nil
+	r.ga, r.muA, r.sAA = nil, nil, nil
+}

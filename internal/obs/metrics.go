@@ -250,3 +250,34 @@ func (s *CacheStats) Resize(n int) {
 		s.Size.Set(int64(n))
 	}
 }
+
+// MemoStats bundles the hit/miss counters of a memoization table — a cache
+// whose entries live and die with one request, so eviction and size metrics
+// would be noise. The detection pipeline's per-image intermediates report
+// through one of these.
+type MemoStats struct {
+	Hits, Misses *Counter
+}
+
+// NewMemoStats creates (or rebinds to) the two memo metrics under prefix on
+// the default registry.
+func NewMemoStats(prefix string) *MemoStats {
+	return &MemoStats{
+		Hits:   C(prefix + ".hits"),
+		Misses: C(prefix + ".misses"),
+	}
+}
+
+// Hit records a memo hit. Nil-safe so memo tables may run without stats.
+func (s *MemoStats) Hit() {
+	if s != nil {
+		s.Hits.Inc()
+	}
+}
+
+// Miss records a memo miss.
+func (s *MemoStats) Miss() {
+	if s != nil {
+		s.Misses.Inc()
+	}
+}

@@ -3,6 +3,7 @@ package scaling
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/parallel"
@@ -61,6 +62,17 @@ func (s *Scaler) Horizontal() *Coeff { return s.horiz }
 // (the L in scale(X) = L·X·Rᵀ).
 func (s *Scaler) Vertical() *Coeff { return s.vert }
 
+// Derive returns a scaler with the same destination geometry and options
+// prepared for a different source geometry, sharing coefficient matrices
+// through CoeffFor. When the source geometry already matches, the receiver
+// itself is returned (scalers are immutable after construction).
+func (s *Scaler) Derive(srcW, srcH int) (*Scaler, error) {
+	if srcW == s.srcW && srcH == s.srcH {
+		return s, nil
+	}
+	return NewScaler(srcW, srcH, s.dstW, s.dstH, s.opts)
+}
+
 // Resize resamples img to the scaler's destination geometry. Inputs whose
 // size differs from the prepared source geometry are handled through the
 // shared coefficient cache, so even the fallback path pays the build cost
@@ -109,22 +121,78 @@ func Resize(img *imgcore.Image, dstW, dstH int, opts Options) (*imgcore.Image, e
 // resize pass stays on the calling goroutine.
 const minResizeWork = 1 << 14
 
-// resizeWith applies the separable operator: vertical pass then horizontal.
-// Both passes run in parallel bands over disjoint output columns/rows, so
-// the result is bit-identical to the serial order for any worker count.
+// midPool recycles the intermediate (dstH × srcW) pass buffers of the
+// separable resize so steady-state resizes allocate only their output. The
+// vertical pass fully overwrites the buffer (Coeff.Apply assigns, and every
+// (x, c) column covers all dstH rows), so stale contents never leak.
+var midPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// ResizeInto resamples img into dst, which must already have the scaler's
+// destination geometry and img's channel count. It is the allocation-lean
+// variant of Resize for callers that recycle output buffers; the pixels
+// written are bit-identical to Resize's.
+func (s *Scaler) ResizeInto(ctx context.Context, img, dst *imgcore.Image, popts ...parallel.Option) error {
+	if err := img.Validate(); err != nil {
+		return err
+	}
+	if err := dst.Validate(); err != nil {
+		return err
+	}
+	if dst.W != s.dstW || dst.H != s.dstH || dst.C != img.C {
+		return fmt.Errorf("%w: dst %dx%dx%d, want %dx%dx%d", ErrBadSize,
+			dst.W, dst.H, dst.C, s.dstW, s.dstH, img.C)
+	}
+	horiz, vert := s.horiz, s.vert
+	if img.W != s.srcW {
+		var err error
+		horiz, err = CoeffFor(img.W, s.dstW, s.opts)
+		if err != nil {
+			return err
+		}
+	}
+	if img.H != s.srcH {
+		var err error
+		vert, err = CoeffFor(img.H, s.dstH, s.opts)
+		if err != nil {
+			return err
+		}
+	}
+	return resizeInto(ctx, img, dst, horiz, vert, popts...)
+}
+
+// resizeWith applies the separable operator into a freshly allocated image.
 func resizeWith(ctx context.Context, img *imgcore.Image, horiz, vert *Coeff, popts ...parallel.Option) (*imgcore.Image, error) {
-	dstW, dstH := horiz.M, vert.M
-	// Vertical pass: (img.H × img.W) -> (dstH × img.W), chunked over x.
-	mid, err := imgcore.New(img.W, dstH, img.C)
+	out, err := imgcore.New(horiz.M, vert.M, img.C)
 	if err != nil {
 		return nil, err
 	}
+	if err := resizeInto(ctx, img, out, horiz, vert, popts...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// resizeInto applies the separable operator: vertical pass then horizontal.
+// Both passes run in parallel bands over disjoint output columns/rows, so
+// the result is bit-identical to the serial order for any worker count. out
+// must be (horiz.M × vert.M × img.C); its prior contents are ignored.
+func resizeInto(ctx context.Context, img, out *imgcore.Image, horiz, vert *Coeff, popts ...parallel.Option) error {
+	dstW, dstH := horiz.M, vert.M
+	// Vertical pass: (img.H × img.W) -> (dstH × img.W), chunked over x,
+	// through a pooled intermediate.
+	midN := img.W * dstH * img.C
+	mp := midPool.Get().(*[]float64)
+	defer midPool.Put(mp)
+	if cap(*mp) < midN {
+		*mp = make([]float64, midN)
+	}
+	mid := &imgcore.Image{W: img.W, H: dstH, C: img.C, Pix: (*mp)[:midN]}
 	rowStride := img.W * img.C
 	vertCost := dstH * img.C * vert.MaxTaps()
 	vertOpts := append([]parallel.Option{
 		parallel.Grain(parallel.GrainForWidth(vertCost, minResizeWork)),
 	}, popts...)
-	err = parallel.For(ctx, img.W, func(xLo, xHi int) error {
+	err := parallel.For(ctx, img.W, func(xLo, xHi int) error {
 		for x := xLo; x < xHi; x++ {
 			for c := 0; c < img.C; c++ {
 				off := x*img.C + c
@@ -134,18 +202,14 @@ func resizeWith(ctx context.Context, img *imgcore.Image, horiz, vert *Coeff, pop
 		return nil
 	}, vertOpts...)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Horizontal pass: (dstH × img.W) -> (dstH × dstW), chunked over y.
-	out, err := imgcore.New(dstW, dstH, img.C)
-	if err != nil {
-		return nil, err
-	}
 	horizCost := dstW * img.C * horiz.MaxTaps()
 	horizOpts := append([]parallel.Option{
 		parallel.Grain(parallel.GrainForWidth(horizCost, minResizeWork)),
 	}, popts...)
-	err = parallel.For(ctx, dstH, func(yLo, yHi int) error {
+	return parallel.For(ctx, dstH, func(yLo, yHi int) error {
 		for y := yLo; y < yHi; y++ {
 			for c := 0; c < img.C; c++ {
 				srcOff := y*rowStride + c
@@ -155,10 +219,6 @@ func resizeWith(ctx context.Context, img *imgcore.Image, horiz, vert *Coeff, pop
 		}
 		return nil
 	}, horizOpts...)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // DownUp performs the paper's scaling-detection transform: downscale img to

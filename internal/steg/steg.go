@@ -41,6 +41,13 @@ func DefaultOptions() Options {
 	return Options{BinarizeThreshold: 0.78, SmoothSigma: 1.0}
 }
 
+// Resolved returns the options with every unset field replaced by its
+// default for a w×h spectrum. Resolving is idempotent, so resolved options
+// are a stable identity for a CSP configuration: two Options values that
+// resolve equal produce identical analyses on the same spectrum (the
+// detection pipeline keys its memoized CSP stage on this).
+func (o Options) Resolved(w, h int) Options { return o.withDefaults(w, h) }
+
 func (o Options) withDefaults(w, h int) Options {
 	//declint:ignore floateq zero is the unset-option sentinel, set only by literal omission
 	if o.BinarizeThreshold == 0 {
@@ -106,24 +113,37 @@ func Analyze(img *imgcore.Image, opts Options) (*Analysis, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults(img.W, img.H)
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
 	gray := img.Gray()
 	spec, err := fourier.CenteredSpectrum(gray.Pix, gray.W, gray.H)
 	if err != nil {
 		return nil, fmt.Errorf("steg: spectrum: %w", err)
 	}
+	return AnalyzeSpectrum(spec, gray.W, gray.H, opts)
+}
+
+// AnalyzeSpectrum runs the steganalysis tail — smoothing, binarization and
+// component counting — on an already-computed centered log-magnitude
+// spectrum (fourier.CenteredSpectrum output, normalized to [0,1]). The
+// detection pipeline uses this to share one spectrum between scorers. spec
+// is treated as read-only; when smoothing is disabled the returned
+// Analysis.Spectrum aliases it.
+func AnalyzeSpectrum(spec []float64, w, h int, opts Options) (*Analysis, error) {
+	if w <= 0 || h <= 0 || len(spec) != w*h {
+		return nil, fmt.Errorf("steg: spectrum length %d does not match %dx%d", len(spec), w, h)
+	}
+	opts = opts.withDefaults(w, h)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if opts.SmoothSigma > 0 {
-		spec = gaussianBlur2D(spec, gray.W, gray.H, opts.SmoothSigma)
+		spec = gaussianBlur2D(spec, w, h, opts.SmoothSigma)
 		renormalize(spec)
 	}
 	mask := make([]bool, len(spec))
 	for i, v := range spec {
 		mask[i] = v >= opts.BinarizeThreshold
 	}
-	labels, areas := LabelComponents(mask, gray.W, gray.H)
+	labels, areas := LabelComponents(mask, w, h)
 	// Per-component centroids.
 	cx := make([]float64, len(areas))
 	cy := make([]float64, len(areas))
@@ -131,8 +151,8 @@ func Analyze(img *imgcore.Image, opts Options) (*Analysis, error) {
 		if l == 0 {
 			continue
 		}
-		cx[l-1] += float64(p % gray.W)
-		cy[l-1] += float64(p / gray.W)
+		cx[l-1] += float64(p % w)
+		cy[l-1] += float64(p / w)
 	}
 	type comp struct {
 		area     int
@@ -156,8 +176,8 @@ func Analyze(img *imgcore.Image, opts Options) (*Analysis, error) {
 	a := &Analysis{
 		Spectrum:  spec,
 		Mask:      mask,
-		W:         gray.W,
-		H:         gray.H,
+		W:         w,
+		H:         h,
 		Count:     len(kept),
 		Areas:     make([]int, len(kept)),
 		Centroids: make([][2]float64, len(kept)),
