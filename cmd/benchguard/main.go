@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"decamouflage/internal/benchfmt"
 )
@@ -116,6 +117,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// selectionHint explains a zero-line selection: the usual culprits are a
+// name copied verbatim from bench output (selection strips the -N
+// GOMAXPROCS suffix; passing it never matches a file whose results carry a
+// different suffix, and confuses readers either way) or a -bench pattern
+// that filtered the wanted benchmark out of the run. Listing what the file
+// does contain makes both obvious.
+func selectionHint(results []benchfmt.Result, bench string) string {
+	if len(results) == 0 {
+		return "; the file contains no benchmark result lines"
+	}
+	if stripped := benchfmt.BaseName(bench); stripped != bench {
+		if len(benchfmt.Select(results, stripped)) > 0 {
+			return fmt.Sprintf("; names are compared with the -N GOMAXPROCS suffix stripped — use %q", stripped)
+		}
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range results {
+		if base := benchfmt.BaseName(r.Name); !seen[base] {
+			seen[base] = true
+			names = append(names, base)
+		}
+	}
+	return "; the file has: " + strings.Join(names, ", ")
+}
+
 // median holds the robust centers of one benchmark's repetitions.
 type median struct {
 	ns     float64
@@ -138,7 +165,7 @@ func medianFromFile(path, bench string) (median, error) {
 	}
 	sel := benchfmt.Select(results, bench)
 	if len(sel) == 0 {
-		return median{}, fmt.Errorf("no results for %q in %s", bench, path)
+		return median{}, fmt.Errorf("no results for %q in %s%s", bench, path, selectionHint(results, bench))
 	}
 	med := benchfmt.MedianNsPerOp(sel)
 	if !(med > 0) {

@@ -92,6 +92,42 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+// TestZeroSelectionDiagnostics: when a named benchmark matches no lines,
+// the error says what the file does contain, or that the caller pasted a
+// name with its -N GOMAXPROCS suffix still attached.
+func TestZeroSelectionDiagnostics(t *testing.T) {
+	base := writeBench(t, "base.txt", baselineTxt)
+	cand := writeBench(t, "cand.txt", "BenchmarkOther-8  10  5 ns/op\n")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-baseline", base, "-candidate", cand,
+		"-baseline-bench", "BenchmarkDetectDisabled",
+		"-candidate-bench", "BenchmarkMissing"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), `the file has: BenchmarkOther`) {
+		t.Errorf("error does not list available benchmarks: %s", stderr.String())
+	}
+	// A name pasted with its GOMAXPROCS suffix gets the strip hint.
+	stderr.Reset()
+	code = run([]string{"-baseline", base, "-candidate", cand,
+		"-bench", "BenchmarkDetectDisabled-8"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("suffixed name: exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), `suffix stripped — use "BenchmarkDetectDisabled"`) {
+		t.Errorf("error lacks the suffix hint: %s", stderr.String())
+	}
+	// A file with no benchmark lines at all says so.
+	empty := writeBench(t, "empty.txt", "goos: linux\nPASS\n")
+	stderr.Reset()
+	code = run([]string{"-baseline", empty, "-candidate", cand,
+		"-bench", "BenchmarkOther"}, &stdout, &stderr)
+	if code != 2 || !strings.Contains(stderr.String(), "no benchmark result lines") {
+		t.Errorf("empty file: exit %d, stderr: %s", code, stderr.String())
+	}
+}
+
 const pairTxt = `goos: linux
 BenchmarkEnsembleLegacy-8     80   15000000 ns/op   5900000 B/op   272 allocs/op
 BenchmarkEnsembleLegacy-8     81   15200000 ns/op   5900100 B/op   273 allocs/op

@@ -18,6 +18,9 @@
 //	                                      # suppressed ones included
 //	go run ./cmd/declint -github ./...    # GitHub Actions ::error annotations
 //	go run ./cmd/declint -cache DIR ./... # reuse function-summary cache
+//	go run ./cmd/declint -waivers ./...   # markdown inventory of every
+//	                                      # //declint:ignore currently in
+//	                                      # effect (docs/declint_waivers.md)
 //
 // Findings are reported as file:line:col: check: message. Intentional
 // violations are annotated in place with //declint:ignore <check> <reason>.
@@ -47,8 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array (suppressed findings included, marked)")
 	githubFlag := fs.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	cacheFlag := fs.String("cache", "", "directory for the function-summary cache (empty: no cache)")
+	waiversFlag := fs.Bool("waivers", false, "emit a markdown inventory of suppressed findings (check, location, reason)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: declint [-checks c1,c2] [-list] [-json|-github] [-cache dir] [./... | dir ...]")
+		fmt.Fprintln(stderr, "usage: declint [-checks c1,c2] [-list] [-json|-github|-waivers] [-cache dir] [./... | dir ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,8 +64,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *jsonFlag && *githubFlag {
-		fmt.Fprintln(stderr, "declint: -json and -github are mutually exclusive")
+	exclusive := 0
+	for _, on := range []bool{*jsonFlag, *githubFlag, *waiversFlag} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		fmt.Fprintln(stderr, "declint: -json, -github, and -waivers are mutually exclusive")
 		return 2
 	}
 
@@ -70,9 +80,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Checks = strings.Split(*checksFlag, ",")
 	}
 	cfg.CacheDir = *cacheFlag
-	// JSON consumers see what was waived and why the tree still passes;
-	// suppressed findings never affect the exit code.
-	cfg.IncludeSuppressed = *jsonFlag
+	// JSON consumers and the waiver inventory see what was waived and why
+	// the tree still passes; suppressed findings never affect the exit code.
+	cfg.IncludeSuppressed = *jsonFlag || *waiversFlag
 
 	targets := fs.Args()
 	if len(targets) == 0 {
@@ -131,6 +141,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s: %s\n",
 				relToCwd(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
 		}
+	case *waiversFlag:
+		writeWaivers(stdout, all)
 	default:
 		for _, f := range all {
 			fmt.Fprintln(stdout, f.String())
@@ -141,6 +153,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeWaivers renders the suppressed findings as the committed
+// docs/declint_waivers.md: one row per //declint:ignore directive currently
+// silencing a finding, so every standing exception to the invariants is
+// inventoried with its documented reason.
+func writeWaivers(w io.Writer, all []analysis.Finding) {
+	fmt.Fprintln(w, "# Declint waiver inventory")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Generated by `go run ./cmd/declint -waivers ./... > docs/declint_waivers.md`.")
+	fmt.Fprintln(w, "Each row is one `//declint:ignore` directive that currently suppresses a")
+	fmt.Fprintln(w, "finding: the check it silences, where, and the reason the directive records.")
+	fmt.Fprintln(w, "CI regenerates this file and fails on drift, so the inventory cannot rot.")
+	fmt.Fprintln(w)
+	n := 0
+	for _, f := range all {
+		if f.Suppressed {
+			n++
+		}
+	}
+	if n == 0 {
+		fmt.Fprintln(w, "No waivers are in effect.")
+		return
+	}
+	fmt.Fprintln(w, "| Check | Location | Reason |")
+	fmt.Fprintln(w, "|-------|----------|--------|")
+	for _, f := range all {
+		if !f.Suppressed {
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %s:%d | %s |\n",
+			f.Check, relToCwd(f.Pos.Filename), f.Pos.Line, f.Reason)
+	}
 }
 
 // resolveTarget maps one CLI target to (module root, subtree filter).

@@ -38,6 +38,9 @@ func TestViolatingFixturesExitNonzero(t *testing.T) {
 		{"hotalloc", "hotalloc", "hot.go"},
 		{"detprop", "detprop", "resize.go"},
 		{"ctxflow", "ctxflow", "run.go"},
+		{"poollife", "poollife", "pool.go"},
+		{"memopure", "memopure", "stages.go"},
+		{"obscover", "obscover", "stages.go"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -99,6 +102,9 @@ func TestListFlag(t *testing.T) {
 		"hotalloc     allocations reachable from //declint:hot kernel functions",
 		"detprop      transitive time/rand/map-order taint reaching kernel packages",
 		"ctxflow      dropped or re-minted contexts in internal library code",
+		"poollife     pooled buffers not released exactly once on every path",
+		"memopure     memoized stage closures that are not pure functions of their key",
+		"obscover     pipeline stages or caches missing obs instrumentation",
 		"",
 	}, "\n")
 	if stdout != want {
@@ -169,6 +175,39 @@ func TestJSONGitHubExclusive(t *testing.T) {
 	code, _, stderr := runDeclint(t, "-json", "-github", filepath.Join(fixtures, "errdrop"))
 	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
 		t.Fatalf("exit code = %d (stderr %q), want 2 with exclusivity error", code, stderr)
+	}
+}
+
+// TestWaiversOutput: -waivers renders a markdown row per suppressed finding
+// carrying the directive's reason, and ignores live findings.
+func TestWaiversOutput(t *testing.T) {
+	code, stdout, _ := runDeclint(t, "-waivers", filepath.Join(fixtures, "hotalloc"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (live findings still fail)\nstdout:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "| Check | Location | Reason |") {
+		t.Errorf("output lacks the table header:\n%s", stdout)
+	}
+	rows := 0
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(line, "| hotalloc |") {
+			rows++
+			if !strings.Contains(line, "hot.go:29") ||
+				!strings.Contains(line, "setup-time cold path, called once per plan") {
+				t.Errorf("waiver row lacks location or reason: %s", line)
+			}
+		}
+	}
+	if rows != 1 {
+		t.Errorf("hotalloc waiver rows = %d, want 1:\n%s", rows, stdout)
+	}
+	code, stdout, _ = runDeclint(t, "-waivers", filepath.Join(fixtures, "callgraph"))
+	if code != 0 || !strings.Contains(stdout, "No waivers are in effect.") {
+		t.Fatalf("clean tree: code=%d, want 0 with empty inventory\n%s", code, stdout)
+	}
+	code, _, stderr := runDeclint(t, "-waivers", "-json", filepath.Join(fixtures, "errdrop"))
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("-waivers -json: code=%d (stderr %q), want 2", code, stderr)
 	}
 }
 

@@ -26,7 +26,7 @@
 // (allocations, forbidden sources, captured writes, context facts, call
 // edges), and a whole-module call graph links the summaries — static calls,
 // method values, and interface dispatch resolved to module-defined
-// implementers. Four checks run on that graph:
+// implementers. Seven checks run on that graph:
 //
 //	parsafe      closures passed to parallel.For/Do may only write captured
 //	             slices/maps at indices derived from the chunk bounds lo..hi
@@ -38,6 +38,16 @@
 //	ctxflow      internal functions receiving a ctx must use it and must not
 //	             mint context.Background/TODO; only exported entry points root
 //	             contexts
+//	poollife     values borrowed from sync.Pool.Get (and //declint:owns
+//	             helpers) must be released exactly once on every path, never
+//	             used after a release, and never escape without a
+//	             //declint:owns / //declint:transfers custody annotation —
+//	             whose claims are themselves verified at the callee
+//	memopure     memoized pipeline-stage compute closures must be pure
+//	             functions of their stage key: no captured or package-level
+//	             writes, no reachable nondeterministic source
+//	obscover     every memoized stage opens an obs span and every LRU cache
+//	             registers real obs stats, so instrumentation cannot rot
 //
 // Function summaries are cached on disk (Config.CacheDir) keyed by the
 // package's transitive content hash, so warm full-repo runs skip the
@@ -66,6 +76,10 @@ type Finding struct {
 	Pos        token.Position `json:"pos"`
 	Msg        string         `json:"msg"`
 	Suppressed bool           `json:"suppressed,omitempty"`
+	// Reason carries the waiver text of the covering //declint:ignore
+	// directive when Suppressed is set — the raw material of the
+	// docs/declint_waivers.md inventory.
+	Reason string `json:"reason,omitempty"`
 }
 
 // String renders the canonical file:line:col form findings are reported in.
@@ -107,6 +121,13 @@ type Config struct {
 	// barriers: observability reads clocks to stamp spans but never feeds
 	// numeric kernel output, so reaching it is not nondeterminism.
 	TaintExemptPkgs []string
+	// MemoTypes are the qualified memo-table types ("pkgpath.TypeName",
+	// suffix-matched) whose memo(key, closure) compute closures memopure
+	// and obscover analyze as pipeline stages.
+	MemoTypes []string
+	// CachePkg is the package whose NewLRU constructor obscover audits for
+	// nil stats registrations.
+	CachePkg string
 	// CacheDir, when non-empty, holds the per-package function-summary
 	// JSON files keyed by transitive content hash. Empty disables caching.
 	CacheDir string
@@ -135,6 +156,8 @@ func DefaultConfig() Config {
 			"runtime/pprof", "net/http/pprof", "expvar",
 		},
 		TaintExemptPkgs: []string{"internal/obs"},
+		MemoTypes:       []string{"internal/detect.Intermediates"},
+		CachePkg:        "internal/cache",
 	}
 }
 
@@ -161,6 +184,9 @@ var registry = []check{
 	{name: "hotalloc", doc: "allocations reachable from //declint:hot kernel functions", runModule: checkHotAlloc},
 	{name: "detprop", doc: "transitive time/rand/map-order taint reaching kernel packages", runModule: checkDetProp},
 	{name: "ctxflow", doc: "dropped or re-minted contexts in internal library code", runModule: checkCtxFlow},
+	{name: "poollife", doc: "pooled buffers not released exactly once on every path", runModule: checkPoolLife},
+	{name: "memopure", doc: "memoized stage closures that are not pure functions of their key", runModule: checkMemoPure},
+	{name: "obscover", doc: "pipeline stages or caches missing obs instrumentation", runModule: checkObsCover},
 }
 
 // Checks lists the registered check names and one-line descriptions.
@@ -230,9 +256,10 @@ func Run(pkgs []*Package, cfg Config) ([]Finding, error) {
 
 	keep := func(fs []Finding) {
 		for _, f := range fs {
-			if sup.suppressed(f) {
+			if ok, reason := sup.suppressed(f); ok {
 				if cfg.IncludeSuppressed {
 					f.Suppressed = true
+					f.Reason = reason
 					out = append(out, f)
 				}
 				continue

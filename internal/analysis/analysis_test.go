@@ -140,6 +140,48 @@ func TestGoldenFindings(t *testing.T) {
 			},
 		},
 		{
+			fixture: "poollife",
+			want: []string{
+				"internal/bufpool/pool.go:35 poollife",   // Leak: never released
+				"internal/bufpool/pool.go:42 poollife",   // EarlyLeak: error path leaks
+				"internal/bufpool/pool.go:52 poollife",   // Double: second transfers release
+				"internal/bufpool/pool.go:59 poollife",   // DoubleDirect: second Put
+				"internal/bufpool/pool.go:67 poollife",   // DeferredDouble: Put under pending defer
+				"internal/bufpool/pool.go:74 poollife",   // UseAfter: read after Put
+				"internal/bufpool/pool.go:82 poollife",   // Stash: escape into package state
+				"internal/bufpool/pool.go:88 poollife",   // Overwrite: rebind while live
+				"internal/bufpool/pool.go:96 poollife",   // LoopFree: release inside loop body
+				"internal/bufpool/pool.go:104 poollife",  // Discard: owned result dropped
+				"internal/bufpool/pool.go:111 poollife",  // fabricate: owns claim unbacked
+				"internal/bufpool/pool.go:116 poollife",  // vanish: transfers claim unbacked
+				"internal/bufpool/pool.go:120 poollife",  // overclaim: result index out of range
+				"internal/parallel/spawn.go:13 poollife", // Spawn: goroutine capture
+				// Clean, NilGuarded, and ErrPath release on every path: silent.
+			},
+		},
+		{
+			fixture: "memopure",
+			want: []string{
+				"internal/detect/stages.go:62 memopure",    // Sum: captured write
+				"internal/detect/stages.go:74 memopure",    // Count: package-level write
+				"internal/detect/stages.go:84 determinism", // Stamp: time.Now in a kernel pkg...
+				"internal/detect/stages.go:84 memopure",    // ...and inside a stage closure
+				"internal/detect/stages.go:93 detprop",     // Tag: kernel chain to the clock...
+				"internal/detect/stages.go:93 memopure",    // ...reached from a stage closure
+				"internal/detect/stages.go:102 memopure",   // Bump: reaches a global write
+				// Gray is pure; obs.StartStage is behind the exempt barrier.
+			},
+		},
+		{
+			fixture: "obscover",
+			want: []string{
+				"internal/detect/stages.go:36 obscover", // bare: NewLRU with nil stats
+				"internal/detect/stages.go:52 obscover", // Spectrum: no span at all
+				"internal/detect/stages.go:60 obscover", // Blur: span with nil histogram
+				// Gray and wired are fully instrumented: silent.
+			},
+		},
+		{
 			fixture: "suppress",
 			want: []string{
 				"internal/scaling/bad.go:7 declint",  // directive names no check
@@ -194,6 +236,7 @@ func TestRegistry(t *testing.T) {
 	want := []string{
 		"noraw-go", "determinism", "floateq", "naninput", "errdrop", "obsonly",
 		"parsafe", "hotalloc", "detprop", "ctxflow",
+		"poollife", "memopure", "obscover",
 	}
 	checks := Checks()
 	if len(checks) != len(want) {

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -141,4 +143,117 @@ func TestCacheIgnoresCorruptEntries(t *testing.T) {
 		t.Errorf("corrupt cache changed findings\ncold:\n  %s\ngot:\n  %s",
 			strings.Join(cold, "\n  "), strings.Join(again, "\n  "))
 	}
+}
+
+// copyTree duplicates a fixture module so a test can edit it without
+// touching the shared testdata.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copyTree(%s): %v", src, err)
+	}
+}
+
+// loadRoot is loadFixture for an absolute module root outside testdata.
+func loadRoot(t *testing.T, root string, cfg Config) []string {
+	t.Helper()
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	findings, err := Run(pkgs, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", root, err)
+	}
+	out := make([]string, 0, len(findings))
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, fmt.Sprintf("%s:%d %s", filepath.ToSlash(rel), f.Pos.Line, f.Check))
+	}
+	return out
+}
+
+// TestCacheInvalidatesOnTransitiveEdit: editing a file in a package the
+// hot root only reaches through an import must invalidate the warm cache.
+// The edited tree's warm run has to equal a fresh cold run on the same
+// tree bit for bit, and differ from the pre-edit findings — a stale
+// summary would silently keep reporting the old allocation set.
+func TestCacheInvalidatesOnTransitiveEdit(t *testing.T) {
+	// The module root's base name doubles as the module path, so the
+	// copy must keep the fixture's directory name for imports to resolve.
+	root := filepath.Join(t.TempDir(), "hotalloc")
+	copyTree(t, filepath.Join("testdata", "hotalloc"), root)
+
+	cfg := DefaultConfig()
+	cfg.CacheDir = t.TempDir()
+	cold := loadRoot(t, root, cfg)
+	if len(cold) == 0 {
+		t.Fatal("cold run produced no findings; fixture or checks are broken")
+	}
+
+	// Grow a second allocation inside kernels.Fill, which Sweep (the
+	// //declint:hot root in internal/filtering) reaches only transitively.
+	kernels := filepath.Join(root, "internal", "kernels", "kernels.go")
+	edited := `// Fixture helper: an allocating function that is itself unmarked but sits
+// inside a hot root's static call closure.
+package kernels
+
+// Fill rebuilds its scratch on every call.
+func Fill(out []float64) {
+	tmp := make([]float64, len(out))
+	edge := make([]float64, 2)
+	copy(out, tmp)
+	copy(out, edge)
+}
+`
+	if err := os.WriteFile(kernels, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := loadRoot(t, root, cfg) // same cache dir: summaries must recompute
+	if reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm run after the edit reproduced the pre-edit findings; cache did not invalidate:\n  %s",
+			strings.Join(warm, "\n  "))
+	}
+	if !contains(warm, "internal/kernels/kernels.go:8 hotalloc") {
+		t.Errorf("warm run missed the new allocation site:\n  %s", strings.Join(warm, "\n  "))
+	}
+
+	freshCfg := DefaultConfig()
+	freshCfg.CacheDir = t.TempDir()
+	fresh := loadRoot(t, root, freshCfg) // empty cache: ground truth for the edited tree
+	if !reflect.DeepEqual(warm, fresh) {
+		t.Errorf("warm findings on the edited tree differ from a fresh cold run\nwarm:\n  %s\nfresh:\n  %s",
+			strings.Join(warm, "\n  "), strings.Join(fresh, "\n  "))
+	}
+}
+
+func contains(lines []string, want string) bool {
+	for _, l := range lines {
+		if l == want {
+			return true
+		}
+	}
+	return false
 }

@@ -440,6 +440,77 @@ func checkHotAlloc(pkgs []*Package, cfg Config, ix *Index) []Finding {
 
 // ---- detprop -----------------------------------------------------------
 
+// reachHit is one offending effect found by a reachFinder: the call chain
+// from the queried function down to the carrier, and the effect site.
+type reachHit struct {
+	chain []string
+	site  *Site
+}
+
+// reachFinder answers "does any effect selected by hit() lie on a
+// module-internal call path from this function?" with the path, memoized
+// per start node. skip() names barrier packages the BFS does not enter;
+// hit() inspects a summary and returns the offending site, or nil. Built
+// for detprop's source taint and reused by memopure for source and
+// global-write reachability.
+type reachFinder struct {
+	ix   *Index
+	skip func(pkgPath string) bool
+	hit  func(fx *FuncEffects) *Site
+	memo map[string]*reachHit
+}
+
+func newReachFinder(ix *Index, skip func(string) bool, hit func(*FuncEffects) *Site) *reachFinder {
+	return &reachFinder{ix: ix, skip: skip, hit: hit, memo: map[string]*reachHit{}}
+}
+
+func (r *reachFinder) find(start string) *reachHit {
+	if t, ok := r.memo[start]; ok {
+		return t
+	}
+	r.memo[start] = nil // cycle guard: in-progress nodes read as clean
+	seen := map[string]bool{start: true}
+	parent := map[string]string{}
+	queue := []string{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		fx := r.ix.Funcs[cur]
+		if fx == nil || r.skip(fx.PkgPath) {
+			continue
+		}
+		if site := r.hit(fx); site != nil {
+			chain := []string{cur}
+			for p := cur; p != start; {
+				p = parent[p]
+				chain = append([]string{p}, chain...)
+			}
+			t := &reachHit{chain: chain, site: site}
+			r.memo[start] = t
+			return t
+		}
+		for _, c := range fx.Calls {
+			for _, next := range r.ix.expand(c.Callee) {
+				if !seen[next] {
+					seen[next] = true
+					parent[next] = cur
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// chainVia renders a reachHit's call chain for messages.
+func (t *reachHit) chainVia() string {
+	short := make([]string, len(t.chain))
+	for i, c := range t.chain {
+		short[i] = shortID(c)
+	}
+	return strings.Join(short, " -> ")
+}
+
 // checkDetProp extends the determinism check transitively: a kernel-package
 // function must not reach time.Now, math/rand, or map-ordered output
 // through any chain of module-internal calls, however deep. Sources inside
@@ -452,50 +523,12 @@ func checkDetProp(pkgs []*Package, cfg Config, ix *Index) []Finding {
 	exemptCarrier := func(p string) bool {
 		return exemptTraverse(p) || pathMatchesAny(p, cfg.DeterminismPkgs)
 	}
-
-	type taint struct {
-		chain []string
-		site  *Site
-	}
-	memo := map[string]*taint{}
-	var findTaint func(id string) *taint
-	findTaint = func(start string) *taint {
-		if t, ok := memo[start]; ok {
-			return t
-		}
-		memo[start] = nil // cycle guard: in-progress nodes read as clean
-		seen := map[string]bool{start: true}
-		parent := map[string]string{}
-		queue := []string{start}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			fx := ix.Funcs[cur]
-			if fx == nil || exemptTraverse(fx.PkgPath) {
-				continue
-			}
-			if len(fx.Sources) > 0 && !exemptCarrier(fx.PkgPath) {
-				chain := []string{cur}
-				for p := cur; p != start; {
-					p = parent[p]
-					chain = append([]string{p}, chain...)
-				}
-				t := &taint{chain: chain, site: &fx.Sources[0]}
-				memo[start] = t
-				return t
-			}
-			for _, c := range fx.Calls {
-				for _, next := range ix.expand(c.Callee) {
-					if !seen[next] {
-						seen[next] = true
-						parent[next] = cur
-						queue = append(queue, next)
-					}
-				}
-			}
+	taints := newReachFinder(ix, exemptTraverse, func(fx *FuncEffects) *Site {
+		if len(fx.Sources) > 0 && !exemptCarrier(fx.PkgPath) {
+			return &fx.Sources[0]
 		}
 		return nil
-	}
+	})
 
 	var out []Finding
 	seenSite := map[string]bool{}
@@ -506,7 +539,7 @@ func checkDetProp(pkgs []*Package, cfg Config, ix *Index) []Finding {
 		}
 		for _, cs := range fx.Calls {
 			for _, target := range ix.expand(cs.Callee) {
-				t := findTaint(target)
+				t := taints.find(target)
 				if t == nil {
 					continue
 				}
@@ -515,16 +548,12 @@ func checkDetProp(pkgs []*Package, cfg Config, ix *Index) []Finding {
 					break
 				}
 				seenSite[key] = true
-				short := make([]string, len(t.chain))
-				for i, c := range t.chain {
-					short[i] = shortID(c)
-				}
 				out = append(out, Finding{
 					Check: "detprop", Pos: cs.Pos,
 					Msg: fmt.Sprintf("call reaches %s at %s:%d (via %s); "+
 						"kernel output must not depend on it",
 						t.site.Kind, filepath.Base(t.site.Pos.Filename), t.site.Pos.Line,
-						strings.Join(short, " -> ")),
+						t.chainVia()),
 				})
 				break
 			}

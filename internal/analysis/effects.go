@@ -13,6 +13,19 @@ import (
 // stay allocation-free; see checkHotAlloc for the contract.
 const hotMarker = "//declint:hot"
 
+// Ownership directives for poollife. ownsMarker on a function declares that
+// the caller receives custody of one or more pool-borrowed results and must
+// release them; transfersMarker declares that the function takes custody of
+// a parameter (or its receiver) away from the caller. Both claims are
+// verified at the callee — see checkPoolLife.
+//
+//	//declint:owns [result k[,k...]] [explanation]     (default: result 0)
+//	//declint:transfers [param k[,k...]|receiver] [explanation]  (default: param 0)
+const (
+	ownsMarker      = "//declint:owns"
+	transfersMarker = "//declint:transfers"
+)
+
 // Site is one effect occurrence: an allocation, a forbidden-source read, or
 // a context root, classified by kind.
 type Site struct {
@@ -51,6 +64,22 @@ type FuncEffects struct {
 	// declared outside the closure — the raw material of a data race when
 	// the closure escapes to another goroutine.
 	WritesCaptured []Site `json:"writesCaptured,omitempty"`
+
+	// Ownership facts for poollife. Acquires/Releases are the sync.Pool
+	// Get/Put call sites in the body; OwnsResults, TransfersParams and
+	// TransfersRecv mirror the //declint:owns and //declint:transfers doc
+	// directives (result/parameter indices whose custody crosses the call);
+	// DirectiveErrs records malformed ownership directives so a typo cannot
+	// silently disable enforcement. GlobalWrites are assignments whose
+	// target roots at a package-level variable — the raw material of an
+	// impure memoized stage (see checkMemoPure).
+	Acquires        []Site `json:"acquires,omitempty"`
+	Releases        []Site `json:"releases,omitempty"`
+	OwnsResults     []int  `json:"ownsResults,omitempty"`
+	TransfersParams []int  `json:"transfersParams,omitempty"`
+	TransfersRecv   bool   `json:"transfersRecv,omitempty"`
+	DirectiveErrs   []Site `json:"directiveErrs,omitempty"`
+	GlobalWrites    []Site `json:"globalWrites,omitempty"`
 
 	// Context facts for ctxflow: HasCtx when the signature takes a
 	// context.Context, CtxParam/CtxPos name the first such parameter,
@@ -98,6 +127,33 @@ func docHasMarker(doc *ast.CommentGroup, marker string) bool {
 		}
 	}
 	return false
+}
+
+// syncPoolMethod reports which sync.Pool method a call invokes ("Get" or
+// "Put"), or "" when the call is not a sync.Pool method call. The receiver
+// may be a field or local of type sync.Pool or *sync.Pool.
+func syncPoolMethod(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil ||
+		n.Obj().Pkg().Path() != "sync" || n.Obj().Name() != "Pool" {
+		return ""
+	}
+	if name := sel.Sel.Name; name == "Get" || name == "Put" {
+		return name
+	}
+	return ""
 }
 
 // isContextType reports whether t is context.Context.
@@ -373,10 +429,12 @@ func (w *effectsWalker) visit(n ast.Node) bool {
 		if n.Tok != token.DEFINE {
 			for _, lhs := range n.Lhs {
 				w.visitWrite(lhs)
+				w.visitGlobalWrite(lhs)
 			}
 		}
 	case *ast.IncDecStmt:
 		w.visitWrite(n.X)
+		w.visitGlobalWrite(n.X)
 	}
 	return true
 }
@@ -395,9 +453,28 @@ func (w *effectsWalker) visitWrite(lhs ast.Expr) {
 	}
 }
 
+// visitGlobalWrite records an assignment whose target roots at a
+// package-level variable, wherever it occurs (closure or not).
+func (w *effectsWalker) visitGlobalWrite(lhs ast.Expr) {
+	obj := rootObj(w.pkg.Info, lhs)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	w.fx.GlobalWrites = append(w.fx.GlobalWrites,
+		Site{Kind: "write to package-level " + v.Name(), Pos: w.pkg.pos(lhs)})
+}
+
 func (w *effectsWalker) visitCall(call *ast.CallExpr) {
 	info := w.pkg.Info
 	fun := ast.Unparen(call.Fun)
+
+	switch syncPoolMethod(info, call) {
+	case "Get":
+		w.fx.Acquires = append(w.fx.Acquires, Site{Kind: "sync.Pool.Get", Pos: w.pkg.pos(call)})
+	case "Put":
+		w.fx.Releases = append(w.fx.Releases, Site{Kind: "sync.Pool.Put", Pos: w.pkg.pos(call)})
+	}
 
 	if id, ok := fun.(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
@@ -485,6 +562,108 @@ func (w *effectsWalker) checkBoxing(to types.Type, arg ast.Expr) {
 	w.alloc("interface boxing", arg)
 }
 
+// directiveLine reports whether text is marker alone or marker followed by
+// whitespace — so e.g. "//declint:ownship" never matches ownsMarker.
+func directiveLine(text, marker string) bool {
+	if !strings.HasPrefix(text, marker) {
+		return false
+	}
+	rest := text[len(marker):]
+	return rest == "" || strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t")
+}
+
+// parseIndexList parses a comma-separated list of non-negative indices
+// ("0" or "0,1"). The bool is false on any malformed element.
+func parseIndexList(s string) ([]int, bool) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// parseOwnershipDirectives fills the //declint:owns and //declint:transfers
+// facts of fx from fd's doc comment, recording malformed or out-of-range
+// directives in DirectiveErrs (reported by poollife) rather than dropping
+// them silently.
+func parseOwnershipDirectives(pkg *Package, fd *ast.FuncDecl, fx *FuncEffects, sig *types.Signature) {
+	if fd.Doc == nil {
+		return
+	}
+	bad := func(c *ast.Comment, msg string) {
+		fx.DirectiveErrs = append(fx.DirectiveErrs, Site{Kind: msg, Pos: pkg.pos(c)})
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case directiveLine(text, ownsMarker):
+			fields := strings.Fields(text[len(ownsMarker):])
+			idxs := []int{0}
+			if len(fields) > 0 && fields[0] == "result" {
+				if len(fields) < 2 {
+					bad(c, "malformed "+ownsMarker+": 'result' needs indices, e.g. 'result 0,1'")
+					continue
+				}
+				var ok bool
+				if idxs, ok = parseIndexList(fields[1]); !ok {
+					bad(c, "malformed "+ownsMarker+": bad result index list "+strconv.Quote(fields[1]))
+					continue
+				}
+			}
+			n := sig.Results().Len()
+			outOfRange := false
+			for _, k := range idxs {
+				if k >= n {
+					bad(c, ownsMarker+" names result "+strconv.Itoa(k)+
+						" but the function has only "+strconv.Itoa(n)+" result(s)")
+					outOfRange = true
+				}
+			}
+			if !outOfRange {
+				fx.OwnsResults = idxs
+			}
+		case directiveLine(text, transfersMarker):
+			fields := strings.Fields(text[len(transfersMarker):])
+			if len(fields) > 0 && fields[0] == "receiver" {
+				if sig.Recv() == nil {
+					bad(c, transfersMarker+" receiver on a function with no receiver")
+					continue
+				}
+				fx.TransfersRecv = true
+				continue
+			}
+			idxs := []int{0}
+			if len(fields) > 0 && fields[0] == "param" {
+				if len(fields) < 2 {
+					bad(c, "malformed "+transfersMarker+": 'param' needs indices, e.g. 'param 0,1'")
+					continue
+				}
+				var ok bool
+				if idxs, ok = parseIndexList(fields[1]); !ok {
+					bad(c, "malformed "+transfersMarker+": bad param index list "+strconv.Quote(fields[1]))
+					continue
+				}
+			}
+			n := sig.Params().Len()
+			outOfRange := false
+			for _, k := range idxs {
+				if k >= n {
+					bad(c, transfersMarker+" names param "+strconv.Itoa(k)+
+						" but the function has only "+strconv.Itoa(n)+" parameter(s)")
+					outOfRange = true
+				}
+			}
+			if !outOfRange {
+				fx.TransfersParams = idxs
+			}
+		}
+	}
+}
+
 // computeFuncEffects summarizes one declaration. idSuffix disambiguates the
 // (uncallable) init functions, which may legally repeat per package.
 func computeFuncEffects(pkg *Package, fd *ast.FuncDecl, idSuffix string) *FuncEffects {
@@ -498,6 +677,9 @@ func computeFuncEffects(pkg *Package, fd *ast.FuncDecl, idSuffix string) *FuncEf
 		Pos:      pkg.pos(fd.Name),
 		Exported: fd.Name.IsExported(),
 		Hot:      docHasMarker(fd.Doc, hotMarker),
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		parseOwnershipDirectives(pkg, fd, fx, sig)
 	}
 	ctxObjs := map[types.Object]bool{}
 	if fd.Type.Params != nil {

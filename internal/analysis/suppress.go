@@ -18,8 +18,8 @@ const ignorePrefix = "//declint:ignore"
 // nanOKMarker is the naninput check's audit marker; see checkNaNInput.
 const nanOKMarker = "//declint:nan-ok"
 
-// suppressions maps file -> line -> set of suppressed check names.
-type suppressions map[string]map[int]map[string]bool
+// suppressions maps file -> line -> suppressed check name -> waiver reason.
+type suppressions map[string]map[int]map[string]string
 
 // collectSuppressions scans every comment in the package for declint
 // directives. Malformed directives (unknown check, missing reason) are
@@ -64,14 +64,15 @@ func collectSuppressions(pkg *Package, known map[string]bool) (suppressions, []F
 				}
 				byLine := sup[pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int]map[string]string{}
 					sup[pos.Filename] = byLine
 				}
+				reason := strings.Join(fields[1:], " ")
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					if byLine[line] == nil {
-						byLine[line] = map[string]bool{}
+						byLine[line] = map[string]string{}
 					}
-					byLine[line][check] = true
+					byLine[line][check] = reason
 				}
 			}
 		}
@@ -79,11 +80,13 @@ func collectSuppressions(pkg *Package, known map[string]bool) (suppressions, []F
 	return sup, bad
 }
 
-// suppressed reports whether a finding is covered by an ignore directive.
-func (s suppressions) suppressed(f Finding) bool {
+// suppressed reports whether a finding is covered by an ignore directive,
+// and with which documented reason.
+func (s suppressions) suppressed(f Finding) (bool, string) {
 	byLine, ok := s[f.Pos.Filename]
 	if !ok {
-		return false
+		return false, ""
 	}
-	return byLine[f.Pos.Line][f.Check]
+	reason, ok := byLine[f.Pos.Line][f.Check]
+	return ok, reason
 }

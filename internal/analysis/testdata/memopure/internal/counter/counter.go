@@ -1,0 +1,10 @@
+// Fixture helper whose package-level write the stage closures reach
+// transitively.
+package counter
+
+var n int
+
+// Bump increments the package counter.
+func Bump() {
+	n++
+}

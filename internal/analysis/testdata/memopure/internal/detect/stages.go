@@ -1,0 +1,105 @@
+// Fixture: memoized-stage purity. Intermediates mirrors the real pipeline
+// table; every closure opens a real obs span (so obscover stays silent) and
+// the violations cover memopure's hazard list. This package sits in the
+// kernel set, so the clock-reaching stages are double-reported by the
+// determinism/detprop layer too — the goldens pin that overlap.
+package detect
+
+import (
+	"time"
+
+	"memopure/internal/counter"
+	"memopure/internal/obs"
+	"memopure/internal/stamp"
+)
+
+type stageKey string
+
+// Intermediates memoizes per-image stage outputs.
+type Intermediates struct {
+	vals map[stageKey]any
+}
+
+func (in *Intermediates) memo(key stageKey, compute func() (any, error)) (any, error) {
+	if v, ok := in.vals[key]; ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	if in.vals == nil {
+		in.vals = map[stageKey]any{}
+	}
+	in.vals[key] = v
+	return v, nil
+}
+
+var (
+	grayHist  = &obs.Histogram{}
+	sumHist   = &obs.Histogram{}
+	countHist = &obs.Histogram{}
+	stampHist = &obs.Histogram{}
+	tagHist   = &obs.Histogram{}
+	bumpHist  = &obs.Histogram{}
+)
+
+// Gray is a pure function of its key: silent.
+func (in *Intermediates) Gray() (any, error) {
+	return in.memo("gray", func() (any, error) {
+		done := obs.StartStage("gray", grayHist)
+		defer done()
+		return 1, nil
+	})
+}
+
+// Sum writes a variable captured from the enclosing frame.
+func (in *Intermediates) Sum() (any, error) {
+	acc := 0
+	return in.memo("sum", func() (any, error) {
+		done := obs.StartStage("sum", sumHist)
+		defer done()
+		acc++
+		return acc, nil
+	})
+}
+
+var total int
+
+// Count mutates package state from inside the closure.
+func (in *Intermediates) Count() (any, error) {
+	return in.memo("count", func() (any, error) {
+		done := obs.StartStage("count", countHist)
+		defer done()
+		total++
+		return total, nil
+	})
+}
+
+// Stamp reads the clock directly inside the closure.
+func (in *Intermediates) Stamp() (any, error) {
+	return in.memo("stamp", func() (any, error) {
+		done := obs.StartStage("stamp", stampHist)
+		defer done()
+		return time.Now().UnixNano(), nil
+	})
+}
+
+// Tag reaches the clock two hops away through the stamp helper.
+func (in *Intermediates) Tag() (any, error) {
+	return in.memo("tag", func() (any, error) {
+		done := obs.StartStage("tag", tagHist)
+		defer done()
+		return stamp.ID(), nil
+	})
+}
+
+// Bump reaches a package-level write through the counter helper.
+func (in *Intermediates) Bump() (any, error) {
+	return in.memo("bump", func() (any, error) {
+		done := obs.StartStage("bump", bumpHist)
+		defer done()
+		counter.Bump()
+		return 0, nil
+	})
+}

@@ -1,0 +1,22 @@
+// Fixture stand-in for the observability package: spans read the clock but
+// never feed memoized values, so memopure treats the package as an exempt
+// traversal barrier.
+package obs
+
+import "time"
+
+// Histogram records stage latencies.
+type Histogram struct{ n int }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) { h.n++ }
+
+// StartStage opens a span; the returned func closes it.
+func StartStage(name string, h *Histogram) func() {
+	start := time.Now()
+	return func() {
+		if h != nil {
+			h.Observe(time.Since(start))
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Fixture helper outside the kernel set: its clock read is what the stage
+// closures reach transitively.
+package stamp
+
+import (
+	"strconv"
+	"time"
+)
+
+// ID tags an event with the current nanosecond clock.
+func ID() string {
+	return strconv.FormatInt(now().UnixNano(), 10)
+}
+
+func now() time.Time { return time.Now() }

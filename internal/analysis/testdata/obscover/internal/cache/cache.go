@@ -1,0 +1,24 @@
+// Fixture stand-in for the cache package obscover audits: NewLRU's last
+// parameter is the observability registration.
+package cache
+
+// Stats records hit/miss counts for an LRU.
+type Stats struct{ hits, misses int }
+
+// Hit records a lookup that found its key.
+func (s *Stats) Hit() { s.hits++ }
+
+// Miss records a lookup that did not.
+func (s *Stats) Miss() { s.misses++ }
+
+// LRU is a fixed-capacity cache.
+type LRU[K comparable, V any] struct {
+	capacity int
+	vals     map[K]V
+	stats    *Stats
+}
+
+// NewLRU builds a cache registering st for observability.
+func NewLRU[K comparable, V any](capacity int, st *Stats) *LRU[K, V] {
+	return &LRU[K, V]{capacity: capacity, vals: map[K]V{}, stats: st}
+}

@@ -1,0 +1,64 @@
+// Fixture: obs coverage. Gray is fully instrumented; Spectrum forgets its
+// span; Blur opens one with a nil histogram; the package-level caches pin
+// the NewLRU stats audit for both nil and real registrations.
+package detect
+
+import (
+	"obscover/internal/cache"
+	"obscover/internal/obs"
+)
+
+type stageKey string
+
+// Intermediates memoizes per-image stage outputs.
+type Intermediates struct {
+	vals map[stageKey]any
+}
+
+func (in *Intermediates) memo(key stageKey, compute func() (any, error)) (any, error) {
+	if v, ok := in.vals[key]; ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	if in.vals == nil {
+		in.vals = map[stageKey]any{}
+	}
+	in.vals[key] = v
+	return v, nil
+}
+
+var grayHist = &obs.Histogram{}
+
+// bare is built with nil stats: its hit rate is invisible.
+var bare = cache.NewLRU[string, int](8, nil)
+
+// wired registers real stats: silent.
+var wired = cache.NewLRU[string, int](8, &cache.Stats{})
+
+// Gray opens a real span: silent.
+func (in *Intermediates) Gray() (any, error) {
+	return in.memo("gray", func() (any, error) {
+		done := obs.StartStage("gray", grayHist)
+		defer done()
+		return 1, nil
+	})
+}
+
+// Spectrum records no span at all.
+func (in *Intermediates) Spectrum() (any, error) {
+	return in.memo("spectrum", func() (any, error) {
+		return 42, nil
+	})
+}
+
+// Blur opens its span with a nil histogram.
+func (in *Intermediates) Blur() (any, error) {
+	return in.memo("blur", func() (any, error) {
+		done := obs.StartStage("blur", nil)
+		defer done()
+		return 2, nil
+	})
+}

@@ -1,0 +1,21 @@
+// Fixture stand-in for the observability package.
+package obs
+
+import "time"
+
+// Histogram records stage latencies.
+type Histogram struct{ n int }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) { h.n++ }
+
+// StartStage opens a span; the returned func closes it. A nil histogram is
+// accepted at runtime — obscover exists to keep callers from passing one.
+func StartStage(name string, h *Histogram) func() {
+	start := time.Now()
+	return func() {
+		if h != nil {
+			h.Observe(time.Since(start))
+		}
+	}
+}

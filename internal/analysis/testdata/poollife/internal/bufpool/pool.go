@@ -1,0 +1,153 @@
+// Fixture: pooled-buffer ownership. The helpers mirror the real module's
+// scratch-pool idiom (an owns getter, a transfers putter); the exported
+// functions walk poollife's transition table one hazard at a time.
+package bufpool
+
+import (
+	"errors"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+var errFixture = errors.New("fixture")
+
+// get borrows a buffer from the pool.
+//
+//declint:owns
+func get() *[]byte { return pool.Get().(*[]byte) }
+
+// put returns a borrowed buffer.
+//
+//declint:transfers
+func put(bp *[]byte) { pool.Put(bp) }
+
+// Clean borrows and releases on every path: silent.
+func Clean(n int) int {
+	bp := get()
+	defer put(bp)
+	return n + len(*bp)
+}
+
+// Leak never releases its borrow.
+func Leak() int {
+	bp := get()
+	return len(*bp)
+}
+
+// EarlyLeak releases on the happy path but not on the error path.
+func EarlyLeak(fail bool) error {
+	bp := get()
+	if fail {
+		return errFixture
+	}
+	put(bp)
+	return nil
+}
+
+// Double releases the same borrow twice through the transfers helper.
+func Double() {
+	bp := get()
+	put(bp)
+	put(bp)
+}
+
+// DoubleDirect double-frees via direct Puts.
+func DoubleDirect() {
+	bp := get()
+	pool.Put(bp)
+	pool.Put(bp)
+}
+
+// DeferredDouble releases a buffer whose deferred release is already
+// pending.
+func DeferredDouble() {
+	bp := get()
+	defer pool.Put(bp)
+	pool.Put(bp)
+}
+
+// UseAfter touches the buffer after returning it to the pool.
+func UseAfter() int {
+	bp := get()
+	pool.Put(bp)
+	return len(*bp)
+}
+
+var stash []*[]byte
+
+// Stash smuggles a borrow into package state without an owns annotation.
+func Stash() {
+	bp := get()
+	stash = append(stash, bp)
+}
+
+// Overwrite drops a live borrow by rebinding its variable.
+func Overwrite() {
+	bp := get()
+	bp = get()
+	put(bp)
+}
+
+// LoopFree releases a pre-loop borrow inside the loop body: a second
+// iteration would double-free it.
+func LoopFree(n int) {
+	bp := get()
+	for i := 0; i < n; i++ {
+		put(bp)
+	}
+	put(bp)
+}
+
+// Discard drops an owned result on the floor.
+func Discard() {
+	get()
+}
+
+// fabricate claims custody but never touches a pool: the owns claim is
+// itself a finding.
+//
+//declint:owns
+func fabricate() *[]byte { return new([]byte) }
+
+// vanish claims to take custody but neither releases nor stores the value.
+//
+//declint:transfers
+func vanish(bp *[]byte) { _ = bp }
+
+// overclaim names a result the signature does not have.
+//
+//declint:owns result 3
+func overclaim() *[]byte { return get() }
+
+// NilGuarded joins a maybe-live borrow through a nil check: silent.
+func NilGuarded(ok bool) {
+	var bp *[]byte
+	if ok {
+		bp = get()
+	}
+	if bp != nil {
+		put(bp)
+	}
+}
+
+// borrow models a fallible acquire: custody only moves when err is nil.
+//
+//declint:owns
+func borrow(fail bool) (*[]byte, error) {
+	if fail {
+		return nil, errFixture
+	}
+	return get(), nil
+}
+
+// ErrPath leans on the err association: the early return carries no live
+// token, the happy path defers its release. Silent.
+func ErrPath(fail bool) error {
+	bp, err := borrow(fail)
+	if err != nil {
+		return err
+	}
+	defer put(bp)
+	return nil
+}

@@ -1,0 +1,16 @@
+// Fixture: goroutine capture. This package plays the substrate role so the
+// raw go statement is exempt from noraw-go — poollife still flags the
+// borrow whose lifetime crosses into the goroutine.
+package parallel
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Spawn hands a borrow to a goroutine the checker cannot follow.
+func Spawn() {
+	bp := pool.Get().(*[]byte)
+	go func() {
+		pool.Put(bp)
+	}()
+}

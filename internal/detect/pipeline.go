@@ -208,9 +208,11 @@ func (in *Intermediates) memo(key stageKey, compute func() (any, error)) (any, e
 }
 
 // deferRelease registers a cleanup to run when the request finishes.
+//
+//declint:transfers
 func (in *Intermediates) deferRelease(f func()) {
 	in.relMu.Lock()
-	in.released = append(in.released, f)
+	in.released = append(in.released, poolTraceWrap(f))
 	in.relMu.Unlock()
 }
 
@@ -235,6 +237,8 @@ var pixPool = sync.Pool{New: func() any { return new([]float64) }}
 // pooledImage draws an image of the given geometry from the pixel pool.
 // The caller must hand the returned put func to deferRelease (or call it)
 // exactly once.
+//
+//declint:owns result 1
 func pooledImage(w, h, c int) (img *imgcore.Image, put func()) {
 	n := w * h * c
 	bp := pixPool.Get().(*[]float64)
@@ -243,7 +247,7 @@ func pooledImage(w, h, c int) (img *imgcore.Image, put func()) {
 		b = make([]float64, n)
 	}
 	*bp = b[:n]
-	return &imgcore.Image{W: w, H: h, C: c, Pix: *bp}, func() { pixPool.Put(bp) }
+	return &imgcore.Image{W: w, H: h, C: c, Pix: *bp}, poolTraceWrap(func() { pixPool.Put(bp) })
 }
 
 // grayInto writes the BT.601 luminance of a 3-channel pixel plane into

@@ -1,0 +1,9 @@
+//go:build !pooltrace
+
+package detect
+
+// poolTraceWrap is the release ledger's production form: a no-op. The
+// pooltrace build tag swaps in a counting wrapper that asserts every
+// pooled borrow is released exactly once (see pooltrace_on.go); without
+// it the put funcs flow to the pools untouched and the call inlines away.
+func poolTraceWrap(put func()) func() { return put }

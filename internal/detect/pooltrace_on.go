@@ -1,0 +1,69 @@
+//go:build pooltrace
+
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// poolTraceLedger is the test-only release ledger behind the pooltrace
+// build tag: the runtime mirror of declint's static poollife check. Every
+// pooled borrow that passes through poolTraceWrap gets an id; releases
+// increment its count; poolTraceVerify fails a test when any borrow was
+// not released exactly once. A double release panics at the release site
+// itself, where the stack still names the offender.
+type poolTraceLedger struct {
+	mu       sync.Mutex
+	next     int
+	releases map[int]int
+}
+
+var poolTrace = poolTraceLedger{releases: map[int]int{}}
+
+// poolTraceWrap registers a borrow and returns a put func that records the
+// release before running the real one.
+func poolTraceWrap(put func()) func() {
+	poolTrace.mu.Lock()
+	id := poolTrace.next
+	poolTrace.next++
+	poolTrace.releases[id] = 0
+	poolTrace.mu.Unlock()
+	return func() {
+		poolTrace.mu.Lock()
+		poolTrace.releases[id]++
+		n := poolTrace.releases[id]
+		poolTrace.mu.Unlock()
+		if n > 1 {
+			panic(fmt.Sprintf("pooltrace: borrow %d released %d times", id, n))
+		}
+		put()
+	}
+}
+
+// poolTraceReset clears the ledger so a test observes only its own borrows.
+func poolTraceReset() {
+	poolTrace.mu.Lock()
+	poolTrace.next = 0
+	poolTrace.releases = map[int]int{}
+	poolTrace.mu.Unlock()
+}
+
+// poolTraceVerify returns an error naming every borrow not released
+// exactly once, or nil when the ledger balances.
+func poolTraceVerify() error {
+	poolTrace.mu.Lock()
+	defer poolTrace.mu.Unlock()
+	var bad []string
+	for id, n := range poolTrace.releases {
+		if n != 1 {
+			bad = append(bad, fmt.Sprintf("borrow %d released %d times", id, n))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("pooltrace: %d unbalanced borrow(s): %v", len(bad), bad)
+}

@@ -267,6 +267,8 @@ func kernelFor(r int, sigma float64) []float64 {
 // read-only view of img.Pix with a nil pool pointer; multi-channel inputs
 // are converted into a pooled buffer the caller must release with
 // putScratch.
+//
+//declint:owns result 1
 func grayPix(img *imgcore.Image) ([]float64, *[]float64) {
 	if img.C == 1 {
 		return img.Pix, nil
@@ -288,6 +290,9 @@ func grayPix(img *imgcore.Image) ([]float64, *[]float64) {
 // overwrites its buffer before reading it.
 var scratchPool = sync.Pool{New: func() any { return &[]float64{} }}
 
+// getScratch borrows an n-sample buffer from the scratch pool.
+//
+//declint:owns
 func getScratch(n int) *[]float64 {
 	bp := scratchPool.Get().(*[]float64)
 	b := *bp
@@ -298,6 +303,9 @@ func getScratch(n int) *[]float64 {
 	return bp
 }
 
+// putScratch returns a getScratch buffer to the pool.
+//
+//declint:transfers
 func putScratch(bp *[]float64) { scratchPool.Put(bp) }
 
 // minBlurWork is the per-chunk grain (in kernel-weighted samples) below

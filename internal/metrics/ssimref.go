@@ -34,6 +34,8 @@ type SSIMRef struct {
 }
 
 // NewSSIMRef precomputes the reference side of an SSIM comparison against a.
+//
+//declint:owns
 func NewSSIMRef(ctx context.Context, a *imgcore.Image, opts SSIMOptions, popts ...parallel.Option) (*SSIMRef, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
@@ -174,6 +176,8 @@ func (r *SSIMRef) ScoreCtx(ctx context.Context, b *imgcore.Image, popts ...paral
 // Release returns the reference's pooled buffers to the scratch pool. The
 // reference must not be scored against after Release; calling Release more
 // than once is a no-op.
+//
+//declint:transfers receiver
 func (r *SSIMRef) Release() {
 	for _, p := range r.pins {
 		putScratch(p)
