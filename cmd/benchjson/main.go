@@ -11,6 +11,11 @@
 // Lines that are not benchmark results (test status, headers, pkg noise)
 // are ignored; a run with zero parsed benchmarks exits nonzero so a CI
 // regex typo fails loudly instead of committing an empty artifact.
+//
+// Every document records the producing environment (goos/goarch,
+// GOMAXPROCS, CPU model, go version) so the trajectory gate
+// (cmd/benchguard -trend) can flag snapshots from a different machine
+// instead of silently mixing them.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"decamouflage/internal/benchfmt"
@@ -65,7 +71,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if date == "" {
 		date = time.Now().UTC().Format("2006-01-02")
 	}
-	doc := benchfmt.Document{Date: date, GoVersion: runtime.Version(), Benchmarks: results}
+	doc := benchfmt.Document{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		Env: &benchfmt.Environment{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			CPU:        cpuModel(),
+			GoVersion:  runtime.Version(),
+		},
+		Benchmarks: results,
+	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(stderr, "benchjson: %v\n", err)
@@ -84,4 +101,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// cpuModel returns the processor model string from /proc/cpuinfo, or ""
+// on platforms without one — the environment record degrades gracefully
+// rather than failing the archive step.
+func cpuModel() string {
+	buf, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		// x86 spells it "model name"; arm64 uses "Processor"/"CPU part",
+		// of which only the former is human-readable — take what exists.
+		if name, val, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(name) {
+			case "model name", "Processor":
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
 }

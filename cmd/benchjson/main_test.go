@@ -54,6 +54,17 @@ func TestRunEndToEnd(t *testing.T) {
 	if len(doc.Benchmarks) != 4 {
 		t.Fatalf("artifact has %d benchmarks, want 4", len(doc.Benchmarks))
 	}
+	// The producing environment rides along so the trajectory gate can
+	// tell this machine's snapshots apart from another's.
+	if doc.Env == nil {
+		t.Fatal("artifact has no env record")
+	}
+	if doc.Env.GOOS == "" || doc.Env.GOARCH == "" || doc.Env.GOMAXPROCS < 1 {
+		t.Fatalf("env record incomplete: %+v", doc.Env)
+	}
+	if doc.Env.GoVersion != doc.GoVersion {
+		t.Fatalf("env go_version %q != document go_version %q", doc.Env.GoVersion, doc.GoVersion)
+	}
 }
 
 func TestRunRejectsEmptyInput(t *testing.T) {

@@ -134,8 +134,8 @@ func TestJSONOutput(t *testing.T) {
 			live++
 		}
 	}
-	if live != 4 {
-		t.Errorf("live findings = %d, want 4", live)
+	if live != 6 {
+		t.Errorf("live findings = %d, want 6", live)
 	}
 	if suppressed != 1 {
 		t.Errorf("suppressed findings = %d, want 1 (the waived Scratch make)", suppressed)

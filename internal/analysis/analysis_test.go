@@ -117,9 +117,11 @@ func TestGoldenFindings(t *testing.T) {
 				"internal/filtering/hot.go:21 hotalloc",  // make in hot Window
 				"internal/filtering/hot.go:36 hotalloc",  // closure in hot Apply
 				"internal/filtering/hot.go:46 hotalloc",  // boxing in hot Report
+				"internal/filtering/u8.go:26 hotalloc",   // per-call histogram in hot HistMedianU8
+				"internal/filtering/u8.go:46 hotalloc",   // append growth in hot CollectRunsU8
 				"internal/kernels/kernels.go:7 hotalloc", // reachable from hot Sweep
 				// Scratch is suppressed with a reason; Clean is allocation-free;
-				// Cold is unmarked.
+				// Cold is unmarked; SlideMinU8 reuses the caller's wedge.
 			},
 		},
 		{

@@ -1,0 +1,50 @@
+// Fixture: uint8 kernel fast paths under the hot contract — the shape of
+// the real module's vHGW lanes. The wedge-reusing sliding window is
+// silent; rebuilding the histogram per call and growing an output with
+// append are findings.
+package filtering
+
+// SlideMinU8 is the allocation-free shape: the caller owns the wedge.
+//
+//declint:hot
+func SlideMinU8(out, lane []uint8, wedge []uint8) {
+	for i := range out {
+		m := lane[i]
+		for _, v := range wedge {
+			if v < m {
+				m = v
+			}
+		}
+		out[i] = m
+	}
+}
+
+// HistMedianU8 rebuilds its 256-bin histogram on every call.
+//
+//declint:hot
+func HistMedianU8(lane []uint8) uint8 {
+	hist := make([]uint16, 256)
+	for _, v := range lane {
+		hist[v]++
+	}
+	n := uint16(0)
+	for i, c := range hist {
+		if n += c; int(n) > len(lane)/2 {
+			return uint8(i)
+		}
+	}
+	return 0
+}
+
+// CollectRunsU8 grows its result with append inside the hot loop.
+//
+//declint:hot
+func CollectRunsU8(lane []uint8) []int {
+	var runs []int
+	for i := 1; i < len(lane); i++ {
+		if lane[i] != lane[i-1] {
+			runs = append(runs, i)
+		}
+	}
+	return runs
+}

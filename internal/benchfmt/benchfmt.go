@@ -38,6 +38,10 @@ type Document struct {
 	Date string `json:"date"`
 	// GoVersion is the toolchain that produced the numbers.
 	GoVersion string `json:"go_version"`
+	// Env identifies the machine that produced the numbers; nil on
+	// snapshots archived before the field existed (those were produced on
+	// the reference container documented in bench/README.md).
+	Env *Environment `json:"env,omitempty"`
 	// Benchmarks holds the parsed results in input order.
 	Benchmarks []Result `json:"benchmarks"`
 }

@@ -1,0 +1,52 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot is one archived benchmark document plus where it came from.
+type Snapshot struct {
+	// Path is the file the document was loaded from.
+	Path string
+	// Doc is the parsed document.
+	Doc Document
+}
+
+// LoadSnapshots reads every BENCH_*.json under dir and returns the
+// documents sorted by Date (ties broken by path), oldest first — the
+// committed perf trajectory cmd/benchguard -trend walks. A directory
+// with no matching files returns an empty, non-nil slice; an unreadable
+// or malformed file is an error (the trajectory gate must not silently
+// drop history).
+func LoadSnapshots(dir string) ([]Snapshot, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Snapshot, 0, len(paths))
+	for _, p := range paths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var doc Document
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if doc.Date == "" {
+			return nil, fmt.Errorf("%s: snapshot has no date", p)
+		}
+		out = append(out, Snapshot{Path: p, Doc: doc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Doc.Date != out[j].Doc.Date {
+			return out[i].Doc.Date < out[j].Doc.Date
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out, nil
+}

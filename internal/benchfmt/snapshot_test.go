@@ -1,0 +1,101 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSnapshotsSortsByDate(t *testing.T) {
+	dir := t.TempDir()
+	// Written out of date order; file names deliberately do not sort the
+	// same way as the dates so the sort provably reads the date field.
+	writeSnapshot(t, dir, "BENCH_a.json",
+		`{"date":"2026-08-09","go_version":"go1.24.0","benchmarks":[{"name":"BenchmarkX","iterations":1,"ns_op":90,"bytes_op":-1,"allocs_op":-1}]}`)
+	writeSnapshot(t, dir, "BENCH_b.json",
+		`{"date":"2026-08-05","go_version":"go1.24.0","benchmarks":[{"name":"BenchmarkX","iterations":1,"ns_op":100,"bytes_op":-1,"allocs_op":-1}]}`)
+	writeSnapshot(t, dir, "notes.txt", "not a snapshot")
+	snaps, err := LoadSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("loaded %d snapshots, want 2", len(snaps))
+	}
+	if snaps[0].Doc.Date != "2026-08-05" || snaps[1].Doc.Date != "2026-08-09" {
+		t.Errorf("dates out of order: %s, %s", snaps[0].Doc.Date, snaps[1].Doc.Date)
+	}
+	// A legacy snapshot (no env field) round-trips with a nil Env.
+	if snaps[0].Doc.Env != nil {
+		t.Errorf("legacy snapshot Env = %+v, want nil", snaps[0].Doc.Env)
+	}
+}
+
+func TestLoadSnapshotsEnvRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "BENCH_2026-08-09.json",
+		`{"date":"2026-08-09","go_version":"go1.24.0",`+
+			`"env":{"goos":"linux","goarch":"amd64","gomaxprocs":1,"cpu":"Example CPU","go_version":"go1.24.0"},`+
+			`"benchmarks":[{"name":"BenchmarkX","iterations":1,"ns_op":90,"bytes_op":-1,"allocs_op":-1}]}`)
+	snaps, err := LoadSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Doc.Env == nil {
+		t.Fatalf("snapshots = %+v, want one with env", snaps)
+	}
+	got := snaps[0].Doc.Env.Fingerprint()
+	want := `linux/amd64 maxprocs=1 cpu="Example CPU"`
+	if got != want {
+		t.Errorf("fingerprint = %q, want %q", got, want)
+	}
+}
+
+func TestLoadSnapshotsErrors(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "BENCH_bad.json", "{not json")
+	if _, err := LoadSnapshots(dir); err == nil {
+		t.Error("malformed snapshot must be an error")
+	}
+	dir = t.TempDir()
+	writeSnapshot(t, dir, "BENCH_nodate.json", `{"go_version":"go1.24.0","benchmarks":[]}`)
+	if _, err := LoadSnapshots(dir); err == nil || !strings.Contains(err.Error(), "no date") {
+		t.Errorf("dateless snapshot error = %v, want 'no date'", err)
+	}
+	snaps, err := LoadSnapshots(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps == nil || len(snaps) != 0 {
+		t.Errorf("empty dir = %v, want non-nil empty slice", snaps)
+	}
+}
+
+func TestEnvironmentFingerprint(t *testing.T) {
+	var nilEnv *Environment
+	if got := nilEnv.Fingerprint(); got != "" {
+		t.Errorf("nil fingerprint = %q, want empty", got)
+	}
+	if got := (&Environment{}).Fingerprint(); got != "" {
+		t.Errorf("zero fingerprint = %q, want empty", got)
+	}
+	// GoVersion is deliberately excluded: a toolchain bump is a visible
+	// trajectory event, not a different machine.
+	a := &Environment{GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, CPU: "X", GoVersion: "go1.24.0"}
+	b := &Environment{GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, CPU: "X", GoVersion: "go1.25.0"}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("go version changed the fingerprint: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	c := &Environment{GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, CPU: "X"}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("GOMAXPROCS change did not change the fingerprint")
+	}
+}

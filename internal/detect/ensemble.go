@@ -72,6 +72,20 @@ func (e *Ensemble) Detectors() []*Detector {
 	return append([]*Detector(nil), e.detectors...)
 }
 
+// SetQuantized toggles the fixed-point resize fast path for 8-bit inputs.
+// When enabled, the round trip's downscale runs through the Q1.15
+// integer accumulators of scaling.ResizeU8Into — measurably faster, and
+// accurate to scaling.FixedTolerance rather than bit-identical, so
+// scaling-method scores can differ from the float64 path within that
+// contract. The bit-exact uint8 routing (LUT gray, integer min filter)
+// is always on for 8-bit inputs and is unaffected by this switch.
+// Safe to call concurrently with Detect; in-flight images may use either
+// path for their downscale.
+func (e *Ensemble) SetQuantized(on bool) { e.pipe.quantized.Store(on) }
+
+// Quantized reports whether the fixed-point resize fast path is enabled.
+func (e *Ensemble) Quantized() bool { return e.pipe.quantized.Load() }
+
 // Detect runs every member concurrently (via parallel.Do, one task per
 // method, bounded by GOMAXPROCS) and majority-votes. The members score
 // through the stage-DAG pipeline: each expensive substrate (gray plane,

@@ -22,6 +22,14 @@
 // the same order as its legacy counterpart, memoization only removes
 // repeated identical computations, and buffer pooling only changes where
 // results are written, not what is written.
+//
+// Inputs whose samples are all 8-bit integers — every decoded PNG and
+// every quantized attack output — additionally get a memoized U8Image
+// view, and the gray and min-filter stages route through uint8 kernels
+// that are provably bit-identical on such inputs (LUT luminance, integer
+// vHGW erosion). The fixed-point downscale, which is tolerance-accurate
+// rather than bit-exact, stays behind the opt-in quantized mode
+// (Ensemble.SetQuantized).
 package detect
 
 import (
@@ -69,6 +77,7 @@ const (
 	stageCSP
 	stageSSIMRef
 	stageMSE
+	stageU8
 )
 
 // stageKey is the identity of one stage instance for one image: the stage
@@ -105,7 +114,14 @@ type Pipeline struct {
 	plans   *cache.LRU[geomKey, *fourier.Plan2D]
 	memo    *obs.MemoStats
 
-	grayH, downH, upH, minH, specH, cspH, metricH *obs.Histogram
+	// quantized routes the round trip's downscale through the Q1.15
+	// fixed-point resize when the input has an 8-bit view. Unlike the
+	// automatic u8 routing (gray LUT, u8 min filter), the fixed-point
+	// resize is tolerance-accurate rather than bit-identical to the
+	// float64 path, so it is opt-in (Ensemble.SetQuantized).
+	quantized atomic.Bool
+
+	grayH, downH, upH, minH, specH, cspH, metricH, u8H *obs.Histogram
 }
 
 type scalerKey struct {
@@ -136,6 +152,7 @@ func NewPipeline() *Pipeline {
 		specH:   obs.H("detect.pipeline.spectrum.seconds"),
 		cspH:    obs.H("detect.pipeline.csp.seconds"),
 		metricH: obs.H("detect.pipeline.metric.seconds"),
+		u8H:     obs.H("detect.pipeline.u8.seconds"),
 	}
 }
 
@@ -265,6 +282,51 @@ func grayInto(dst, pix []float64) {
 	}
 }
 
+// grayLUT holds the 256 possible products of each BT.601 weight with an
+// 8-bit intensity: grayLUT[c][v] = weight_c · float64(v), the exact
+// multiplication grayInto performs on integral samples.
+var grayLUT = func() (lut [3][256]float64) {
+	for v := 0; v < 256; v++ {
+		lut[0][v] = 0.299 * float64(v)
+		lut[1][v] = 0.587 * float64(v)
+		lut[2][v] = 0.114 * float64(v)
+	}
+	return
+}()
+
+// grayIntoU8 is grayInto over the 8-bit view: three table lookups replace
+// three multiplies per pixel. Each lookup IS the float64 product grayInto
+// would compute (the LUT stores weight·float64(v) for every v), and the
+// additions keep grayInto's left-to-right order, so the output is
+// bit-identical to grayInto on the widened samples.
+//
+//declint:hot
+func grayIntoU8(dst []float64, pix []uint8) {
+	for i := range dst {
+		dst[i] = grayLUT[0][pix[i*3]] + grayLUT[1][pix[i*3+1]] + grayLUT[2][pix[i*3+2]]
+	}
+}
+
+// u8View returns the lossless 8-bit view of the image, computed once per
+// image, or nil when any sample is fractional or out of [0, 255]. Every
+// real detection input (decoded PNGs, quantized attack outputs) has the
+// view; synthetic float imagery falls back to the float64 stages.
+func (in *Intermediates) u8View(ctx context.Context) (*imgcore.U8Image, error) {
+	v, err := in.memo(stageKey{kind: stageU8}, func() (any, error) {
+		_, st := obs.StartStage(ctx, "pipeline.u8", in.pipe.u8H)
+		u, ok := in.img.ToU8()
+		st.End()
+		if !ok {
+			return (*imgcore.U8Image)(nil), nil
+		}
+		return u, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*imgcore.U8Image), nil
+}
+
 // gray returns the single-channel luminance view of the image: the image
 // itself when it is already single-channel, otherwise a pooled BT.601
 // conversion computed once per image.
@@ -276,10 +338,18 @@ func (in *Intermediates) gray(ctx context.Context) (*imgcore.Image, error) {
 		if in.img.C != 3 {
 			return nil, fmt.Errorf("detect: cannot gray %d-channel image", in.img.C)
 		}
+		u, err := in.u8View(ctx)
+		if err != nil {
+			return nil, err
+		}
 		_, st := obs.StartStage(ctx, "pipeline.gray", in.pipe.grayH)
 		g, put := pooledImage(in.img.W, in.img.H, 1)
 		in.deferRelease(put)
-		grayInto(g.Pix, in.img.Pix)
+		if u != nil {
+			grayIntoU8(g.Pix, u.Pix)
+		} else {
+			grayInto(g.Pix, in.img.Pix)
+		}
 		st.End()
 		return g, nil
 	})
@@ -303,9 +373,23 @@ func (in *Intermediates) roundTrip(ctx context.Context, key stageKey) (*imgcore.
 		if err != nil {
 			return nil, fmt.Errorf("detect: scaling upscale: %w", err)
 		}
+		// Quantized mode: the downscale (the only pass whose input is
+		// 8-bit) runs through the Q1.15 fixed-point resize. The upscale
+		// input is the float64 intermediate, so it stays on the float
+		// path either way.
+		var u8in *imgcore.U8Image
+		if in.pipe.quantized.Load() {
+			if u8in, err = in.u8View(ctx); err != nil {
+				return nil, err
+			}
+		}
 		_, st := obs.StartStage(ctx, "pipeline.downscale", in.pipe.downH)
 		down, putDown := pooledImage(key.dstW, key.dstH, img.C)
-		err = downScaler.ResizeInto(ctx, img, down)
+		if u8in != nil {
+			err = downScaler.ResizeU8Into(ctx, u8in, down)
+		} else {
+			err = downScaler.ResizeInto(ctx, img, down)
+		}
 		st.End()
 		if err != nil {
 			putDown()
@@ -330,9 +414,31 @@ func (in *Intermediates) roundTrip(ctx context.Context, key stageKey) (*imgcore.
 }
 
 // minFiltered returns the Method-2 erosion of the image for one window
-// size, computed once per window.
+// size, computed once per window. Images with an 8-bit view run the
+// uint8 vHGW kernel (integer comparisons order exactly like their
+// float64 images, so the widened result is bit-identical to MinimumCtx).
 func (in *Intermediates) minFiltered(ctx context.Context, window int) (*imgcore.Image, error) {
 	v, err := in.memo(stageKey{kind: stageMinFilter, window: window}, func() (any, error) {
+		u, err := in.u8View(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if u != nil {
+			_, st := obs.StartStage(ctx, "pipeline.minfilter", in.pipe.minH)
+			fu, err := filtering.MinimumU8Ctx(ctx, u, window)
+			if err != nil {
+				st.End()
+				return nil, fmt.Errorf("detect: minimum filter: %w", err)
+			}
+			f, put := pooledImage(in.img.W, in.img.H, in.img.C)
+			in.deferRelease(put)
+			err = imgcore.FromU8Into(fu, f)
+			st.End()
+			if err != nil {
+				return nil, fmt.Errorf("detect: minimum filter: %w", err)
+			}
+			return f, nil
+		}
 		_, st := obs.StartStage(ctx, "pipeline.minfilter", in.pipe.minH)
 		f, err := filtering.MinimumCtx(ctx, in.img, window)
 		st.End()
@@ -360,7 +466,8 @@ func (in *Intermediates) spectrum(ctx context.Context) ([]float64, error) {
 			return nil, fmt.Errorf("steg: spectrum: %w", err)
 		}
 		_, st := obs.StartStage(ctx, "pipeline.spectrum", in.pipe.specH)
-		spec, err := fourier.CenteredSpectrumWith(ctx, plan, g.Pix, g.W, g.H)
+		spec := make([]float64, g.W*g.H)
+		err = plan.CenteredSpectrumInto(ctx, g.Pix, spec)
 		st.End()
 		if err != nil {
 			return nil, fmt.Errorf("steg: spectrum: %w", err)

@@ -97,6 +97,29 @@ func BenchmarkEnsemblePipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkEnsembleU8 measures the quantized pipeline: the bit-exact u8
+// routing (LUT gray, integer min filter) plus the opt-in Q1.15
+// fixed-point downscale, whose ~3× win over the float downscale gives
+// the quantized path a small whole-ensemble edge. The CI guard allows
+// +5% over BenchmarkEnsemblePipeline so shared-runner noise cannot
+// flake the pair; the committed snapshot records the actual medians.
+func BenchmarkEnsembleU8(b *testing.B) {
+	e := benchEnsemble(b)
+	e.SetQuantized(true)
+	img := corpusImage(b, 2026, 0, benchSrcW, benchSrcH)
+	ctx := context.Background()
+	if _, err := e.Detect(ctx, img); err != nil { // warm coeff/plan/scaler caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Detect(ctx, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEnsemblePipelineBatch measures the fused DetectBatch over a
 // same-geometry batch, where scaler and FFT plan lookups amortise.
 func BenchmarkEnsemblePipelineBatch(b *testing.B) {

@@ -168,16 +168,18 @@ func TestPipelineMemoizesSubstrates(t *testing.T) {
 		}
 	}
 
-	// Unique stages for the 7-member matrix on an RGB image: gray, round
-	// trip, min-filter, spectrum, CSP, SSIM reference, and one MSE per
-	// substrate (round trip, min-filter) = 8 misses. Every other request
-	// is a hit: round trip ×2, MSE(round trip) ×1, min-filter ×2,
-	// MSE(min-filter) ×1, SSIM reference ×1, gray ×1 = 8 hits.
-	if got := in.misses.Load(); got != 8 {
-		t.Errorf("memo misses = %d, want 8 (one per unique substrate)", got)
+	// Unique stages for the 7-member matrix on an RGB (8-bit) image: u8
+	// view, gray, round trip, min-filter, spectrum, CSP, SSIM reference,
+	// and one MSE per substrate (round trip, min-filter) = 9 misses.
+	// Every other request is a hit: round trip ×2, MSE(round trip) ×1,
+	// min-filter ×2, MSE(min-filter) ×1, SSIM reference ×1, gray ×1, and
+	// the u8 view re-requested by whichever of gray/min-filter ran second
+	// ×1 = 9 hits.
+	if got := in.misses.Load(); got != 9 {
+		t.Errorf("memo misses = %d, want 9 (one per unique substrate)", got)
 	}
-	if got := in.hits.Load(); got != 8 {
-		t.Errorf("memo hits = %d, want 8", got)
+	if got := in.hits.Load(); got != 9 {
+		t.Errorf("memo hits = %d, want 9", got)
 	}
 	if obs.Enabled() {
 		if got := obs.C("detect.pipeline.memo.misses").Value() - obsMiss0; got != in.misses.Load() {

@@ -1,0 +1,126 @@
+package filtering
+
+import (
+	"testing"
+
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/scaling"
+	"decamouflage/internal/testutil"
+)
+
+// FuzzFixedPointKernels cross-checks every integer fast path against its
+// float64 oracle on adversarial geometry: 1×N and N×1 images, windows at
+// least as large as the image, upscales and collapses to 1×1. The uint8
+// min/max/median kernels must agree bit-for-bit (integer comparisons
+// order exactly like float64 on 8-bit data); the int32 box and the Q1.15
+// fixed-point resize must stay inside their pinned tolerance contracts.
+func FuzzFixedPointKernels(f *testing.F) {
+	f.Add(uint8(16), uint8(12), true, uint8(3), uint8(4), uint8(3), uint8(1), []byte{0, 128, 255})
+	f.Add(uint8(1), uint8(24), false, uint8(2), uint8(1), uint8(8), uint8(2), []byte{9})        // 1×N
+	f.Add(uint8(24), uint8(1), true, uint8(2), uint8(8), uint8(1), uint8(3), []byte{255, 1})    // N×1
+	f.Add(uint8(5), uint8(7), false, uint8(11), uint8(3), uint8(2), uint8(4), []byte{4, 200})   // window ≥ image
+	f.Add(uint8(9), uint8(9), true, uint8(4), uint8(13), uint8(17), uint8(5), []byte("prime"))  // upscale
+	f.Add(uint8(8), uint8(8), false, uint8(6), uint8(1), uint8(1), uint8(0), []byte{17, 3, 99}) // collapse to 1×1
+	f.Fuzz(func(t *testing.T, w8, h8 uint8, rgb bool, win8, dw8, dh8, alg8 uint8, pix []byte) {
+		w, h := int(w8%33)+1, int(h8%33)+1
+		channels := 1
+		if rgb {
+			channels = 3
+		}
+		u, err := imgcore.NewU8(w, h, channels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range u.Pix {
+			if len(pix) > 0 {
+				u.Pix[i] = pix[i%len(pix)]
+			}
+		}
+		img, err := imgcore.FromU8(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 2 + int(win8%12)
+
+		// Rank kernels: bit-exact against the float oracle.
+		checkExact := func(name string, got, want *imgcore.Image, gerr, werr error) {
+			t.Helper()
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("%s: error disagreement: u8=%v float=%v", name, gerr, werr)
+			}
+			if gerr != nil {
+				return
+			}
+			if i := testutil.FirstDiff(got.Pix, want.Pix); i != -1 {
+				t.Fatalf("%s: sample %d: u8 %v != float %v (%dx%dx%d window %d)",
+					name, i, got.Pix[i], want.Pix[i], w, h, channels, size)
+			}
+		}
+		widen := func(v *imgcore.U8Image, gerr error) *imgcore.Image {
+			t.Helper()
+			if gerr != nil {
+				return nil
+			}
+			wide, err := imgcore.FromU8(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return wide
+		}
+		minU8, gerr := MinimumU8(u, size)
+		minF, werr := Minimum(img, size)
+		checkExact("minimum", widen(minU8, gerr), minF, gerr, werr)
+		maxU8, gerr := MaximumU8(u, size)
+		maxF, werr := Maximum(img, size)
+		checkExact("maximum", widen(maxU8, gerr), maxF, gerr, werr)
+		medU8, gerr := MedianU8(u, size)
+		medF, werr := Median(img, size)
+		checkExact("median", medU8, medF, gerr, werr)
+
+		// Box: int32 running sums against float64 running sums, inside the
+		// pinned rounding tolerance.
+		boxU8, gerr := BoxU8(u, size)
+		boxF, werr := Box(img, size)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("box: error disagreement: u8=%v float=%v", gerr, werr)
+		}
+		if gerr == nil {
+			for i := range boxF.Pix {
+				if !testutil.ApproxEqual(boxU8.Pix[i], boxF.Pix[i], 1e-12, 1e-9) {
+					t.Fatalf("box: sample %d: u8 %v vs float %v (%dx%dx%d window %d)",
+						i, boxU8.Pix[i], boxF.Pix[i], w, h, channels, size)
+				}
+			}
+		}
+
+		// Resize: Q1.15 accumulators inside the FixedTolerance contract.
+		algs := []scaling.Algorithm{scaling.Nearest, scaling.Bilinear, scaling.Bicubic,
+			scaling.Lanczos, scaling.Lanczos4, scaling.Area}
+		opts := scaling.Options{Algorithm: algs[int(alg8)%len(algs)]}
+		dstW, dstH := int(dw8%33)+1, int(dh8%33)+1
+		gotR, gerr := scaling.ResizeU8(u, dstW, dstH, opts)
+		wantR, werr := scaling.Resize(img, dstW, dstH, opts)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("resize: error disagreement: u8=%v float=%v", gerr, werr)
+		}
+		if gerr != nil {
+			return
+		}
+		horiz, err := scaling.CoeffFor(w, dstW, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vert, err := scaling.CoeffFor(h, dstH, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := scaling.FixedTolerance(vert, horiz)
+		for i := range wantR.Pix {
+			if !testutil.ApproxEqual(gotR.Pix[i], wantR.Pix[i], 0, tol) {
+				t.Fatalf("resize: sample %d: u8 %v vs float %v (Δ=%v, tol %v, alg %v, %dx%d→%dx%d)",
+					i, gotR.Pix[i], wantR.Pix[i], gotR.Pix[i]-wantR.Pix[i], tol,
+					opts.Algorithm, w, h, dstW, dstH)
+			}
+		}
+	})
+}

@@ -11,6 +11,9 @@ package fourier
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
 
 	"decamouflage/internal/parallel"
 )
@@ -44,22 +47,92 @@ func (p *Plan2D) Size() (w, h int) { return p.row.N(), p.col.N() }
 // resolves one from the shared cache; a non-nil plan must match (w, h).
 // Output is bit-identical to CenteredSpectrum for every input.
 func CenteredSpectrumWith(ctx context.Context, p *Plan2D, data []float64, w, h int) ([]float64, error) {
-	m, err := FromReal(data, w, h)
-	if err != nil {
-		return nil, err
+	if len(data) != w*h {
+		return nil, fmt.Errorf("fourier: data length %d does not match %dx%d", len(data), w, h)
 	}
 	if p == nil {
+		var err error
 		if p, err = Plan2DFor(w, h); err != nil {
 			return nil, err
 		}
 	} else if pw, ph := p.Size(); pw != w || ph != h {
 		return nil, fmt.Errorf("fourier: plan geometry %dx%d does not match signal %dx%d", pw, ph, w, h)
 	}
-	spec, err := transform2DWith(ctx, m, p.row, p.col)
-	if err != nil {
+	dst := make([]float64, w*h)
+	if err := p.CenteredSpectrumInto(ctx, data, dst); err != nil {
 		return nil, err
 	}
-	return centeredFromSpectrum(spec), nil
+	return dst, nil
+}
+
+// specScratch pools the complex working buffers of CenteredSpectrumInto,
+// so a batch of same-geometry spectra (DetectBatch scoring many images
+// through one plan) allocates its transform state once, not per image.
+var specScratch = sync.Pool{New: func() any { return new([]complex128) }}
+
+// CenteredSpectrumInto computes the centered log-magnitude spectrum of a
+// real (w×h) signal into dst, both sized to the plan's geometry. It is
+// the batch-amortized core of CenteredSpectrum: one pooled complex buffer
+// holds the whole transform (no per-call matrix copies), the 1-D passes
+// run in place through the prepared plans, and the fftshift, log(1+|F|)
+// and max-normalization of Eq. 4 are fused into a single pass that writes
+// dst directly. Every arithmetic step matches CenteredSpectrum — the
+// shift is a pure permutation, log-magnitude is elementwise, and the
+// maximum is order-independent — so output stays bit-identical to the
+// unplanned entry point.
+func (p *Plan2D) CenteredSpectrumInto(ctx context.Context, data []float64, dst []float64) error {
+	w, h := p.Size()
+	if len(data) != w*h {
+		return fmt.Errorf("fourier: data length %d does not match plan geometry %dx%d", len(data), w, h)
+	}
+	if len(dst) != w*h {
+		return fmt.Errorf("fourier: dst length %d does not match plan geometry %dx%d", len(dst), w, h)
+	}
+	bp := specScratch.Get().(*[]complex128)
+	defer specScratch.Put(bp)
+	buf := *bp
+	if cap(buf) < w*h {
+		buf = make([]complex128, w*h)
+		*bp = buf
+	}
+	buf = buf[:w*h]
+	for i, v := range data {
+		buf[i] = complex(v, 0)
+	}
+	if err := transformPasses(ctx, buf, w, h, p.row, p.col); err != nil {
+		return err
+	}
+	centeredInto(dst, buf, w, h)
+	return nil
+}
+
+// centeredInto fuses Shift + LogMagnitude + max-normalization: dst at the
+// shifted position receives log(1+|F|) of each spectrum element, then one
+// scan normalizes by the maximum. Identical arithmetic to the composed
+// form, without the two intermediate matrices.
+//
+//declint:hot
+func centeredInto(dst []float64, spec []complex128, w, h int) {
+	hw, hh := (w+1)/2, (h+1)/2
+	for y := 0; y < h; y++ {
+		ny := (y + h - hh) % h
+		for x := 0; x < w; x++ {
+			nx := (x + w - hw) % w
+			dst[ny*w+nx] = math.Log1p(cmplx.Abs(spec[y*w+x]))
+		}
+	}
+	var mx float64
+	for _, v := range dst {
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx > 0 {
+		inv := 1 / mx
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
 }
 
 // centeredFromSpectrum runs the shift/log-magnitude/normalize tail shared
@@ -85,50 +158,126 @@ func centeredFromSpectrum(spec *Matrix) []float64 {
 // caller; transform2D resolves them from the cache and delegates here.
 func transform2DWith(ctx context.Context, m *Matrix, rowPlan, colPlan *Plan, opts ...parallel.Option) (*Matrix, error) {
 	out := &Matrix{W: m.W, H: m.H, Data: append([]complex128(nil), m.Data...)}
+	if err := transformPasses(ctx, out.Data, m.W, m.H, rowPlan, colPlan, opts...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// colBlock is the number of columns gathered per transpose tile in the
+// blocked column pass: each tile reads colBlock contiguous elements per
+// row (one cache line of complex128s) instead of striding the full matrix
+// once per column.
+const colBlock = 8
+
+// transformPasses runs the forward-or-inverse 2-D passes in place on a
+// row-major (w×h) complex signal: rows first, then columns through
+// cache-blocked transposes. Each column chunk gathers a tile of up to
+// colBlock columns into pooled column-major scratch — walking the matrix
+// row by row, so every row read is contiguous — transforms each gathered
+// column in place, and scatters the tile back the same way. The per-column
+// arithmetic is exactly transformColumnsReference's; only the memory walk
+// order changes, so results are bit-identical (pinned by the blocked-vs-
+// reference equivalence test).
+func transformPasses(ctx context.Context, data []complex128, w, h int, rowPlan, colPlan *Plan, opts ...parallel.Option) error {
 	// Rows: each chunk transforms a disjoint band of rows in place.
 	rowOpts := append([]parallel.Option{
-		parallel.Grain(parallel.GrainForWidth(m.W, minTransformWork)),
+		parallel.Grain(parallel.GrainForWidth(w, minTransformWork)),
 	}, opts...)
-	err := parallel.For(ctx, m.H, func(lo, hi int) error {
+	err := parallel.For(ctx, h, func(lo, hi int) error {
 		for y := lo; y < hi; y++ {
-			if err := rowPlan.Transform(out.Data[y*m.W : (y+1)*m.W]); err != nil {
+			if err := rowPlan.Transform(data[y*w : (y+1)*w]); err != nil {
 				return err
 			}
 		}
 		return nil
 	}, rowOpts...)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	// Columns: each chunk gathers, transforms and scatters a disjoint band
-	// of columns through its own pooled scratch buffer.
 	colOpts := append([]parallel.Option{
-		parallel.Grain(parallel.GrainForWidth(m.H, minTransformWork)),
+		parallel.Grain(parallel.GrainForWidth(h, minTransformWork)),
 	}, opts...)
-	err = parallel.For(ctx, m.W, func(lo, hi int) error {
+	return parallel.For(ctx, w, func(lo, hi int) error {
+		cp := colScratch.Get().(*[]complex128)
+		defer colScratch.Put(cp)
+		tile := *cp
+		if cap(tile) < colBlock*h {
+			tile = make([]complex128, colBlock*h)
+			*cp = tile
+		}
+		tile = tile[:colBlock*h]
+		for x0 := lo; x0 < hi; x0 += colBlock {
+			nb := hi - x0
+			if nb > colBlock {
+				nb = colBlock
+			}
+			gatherColumns(tile, data, w, h, x0, nb)
+			for k := 0; k < nb; k++ {
+				if err := colPlan.Transform(tile[k*h : (k+1)*h]); err != nil {
+					return err
+				}
+			}
+			scatterColumns(data, tile, w, h, x0, nb)
+		}
+		return nil
+	}, colOpts...)
+}
+
+// gatherColumns copies columns [x0, x0+nb) of a row-major (w×h) matrix
+// into column-major tile storage: tile[k*h+y] = data[y*w+x0+k]. The
+// outer loop walks rows, so each iteration reads nb contiguous elements.
+//
+//declint:hot
+func gatherColumns(tile, data []complex128, w, h, x0, nb int) {
+	for y := 0; y < h; y++ {
+		row := data[y*w+x0 : y*w+x0+nb]
+		for k, v := range row {
+			tile[k*h+y] = v
+		}
+	}
+}
+
+// scatterColumns is the inverse of gatherColumns: it writes the tile's
+// columns back into rows of the row-major matrix.
+//
+//declint:hot
+func scatterColumns(data, tile []complex128, w, h, x0, nb int) {
+	for y := 0; y < h; y++ {
+		row := data[y*w+x0 : y*w+x0+nb]
+		for k := range row {
+			row[k] = tile[k*h+y]
+		}
+	}
+}
+
+// transformColumnsReference is the pre-blocking column pass — gather one
+// column at a time, transform, scatter — retained as the bit-equality
+// reference and benchmark baseline for the blocked transposes.
+func transformColumnsReference(ctx context.Context, data []complex128, w, h int, colPlan *Plan, opts ...parallel.Option) error {
+	colOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(h, minTransformWork)),
+	}, opts...)
+	return parallel.For(ctx, w, func(lo, hi int) error {
 		cp := colScratch.Get().(*[]complex128)
 		defer colScratch.Put(cp)
 		col := *cp
-		if cap(col) < m.H {
-			col = make([]complex128, m.H)
+		if cap(col) < h {
+			col = make([]complex128, h)
 			*cp = col
 		}
-		col = col[:m.H]
+		col = col[:h]
 		for x := lo; x < hi; x++ {
-			for y := 0; y < m.H; y++ {
-				col[y] = out.Data[y*m.W+x]
+			for y := 0; y < h; y++ {
+				col[y] = data[y*w+x]
 			}
 			if err := colPlan.Transform(col); err != nil {
 				return err
 			}
-			for y := 0; y < m.H; y++ {
-				out.Data[y*m.W+x] = col[y]
+			for y := 0; y < h; y++ {
+				data[y*w+x] = col[y]
 			}
 		}
 		return nil
 	}, colOpts...)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }

@@ -1,0 +1,214 @@
+package fourier
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"decamouflage/internal/parallel"
+	"decamouflage/internal/testutil"
+)
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return out
+}
+
+// TestBlockedColumnsBitEqualReference pins the cache-blocked column pass
+// against the retained one-column-at-a-time reference: identical
+// arithmetic in a different memory walk must produce bit-identical
+// spectra. Geometries cover tile-boundary cases — widths below, at and
+// off multiples of colBlock — plus Bluestein (non-power-of-two) heights.
+func TestBlockedColumnsBitEqualReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	geoms := []struct{ w, h int }{
+		{1, 8},   // single column
+		{3, 16},  // narrower than one tile
+		{8, 8},   // exactly one tile
+		{9, 8},   // one tile plus one column
+		{16, 32}, // whole tiles
+		{23, 17}, // Bluestein on both axes, ragged tiles
+		{64, 48},
+	}
+	for _, g := range geoms {
+		data := randComplex(rng, g.w*g.h)
+		rowPlan, err := PlanFor(g.w, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colPlan, err := PlanFor(g.h, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: shared row pass, then the per-column pass.
+		want := append([]complex128(nil), data...)
+		for y := 0; y < g.h; y++ {
+			if err := rowPlan.Transform(want[y*g.w : (y+1)*g.w]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := transformColumnsReference(context.Background(), want, g.w, g.h, colPlan); err != nil {
+			t.Fatal(err)
+		}
+		got := append([]complex128(nil), data...)
+		if err := transformPasses(context.Background(), got, g.w, g.h, rowPlan, colPlan); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%dx%d: element %d: blocked %v vs reference %v", g.w, g.h, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCenteredSpectrumIntoBitEqualUnplanned pins the fused pooled path
+// against the composed CenteredSpectrum across geometries and repeated
+// pooled executions (the DetectBatch shape: one plan, many images).
+func TestCenteredSpectrumIntoBitEqualUnplanned(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for _, g := range []struct{ w, h int }{{8, 8}, {17, 9}, {32, 32}, {23, 41}} {
+		p, err := Plan2DFor(g.w, g.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, g.w*g.h)
+		for rep := 0; rep < 3; rep++ {
+			data := make([]float64, g.w*g.h)
+			for i := range data {
+				data[i] = rng.Float64() * 255
+			}
+			want, err := CenteredSpectrum(data, g.w, g.h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.CenteredSpectrumInto(context.Background(), data, dst); err != nil {
+				t.Fatal(err)
+			}
+			if i := testutil.FirstDiff(dst, want); i != -1 {
+				t.Fatalf("%dx%d rep %d: sample %d: fused %v vs composed %v",
+					g.w, g.h, rep, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCenteredSpectrumIntoValidation pins the length checks of the fused
+// entry point and the geometry check of CenteredSpectrumWith.
+func TestCenteredSpectrumIntoValidation(t *testing.T) {
+	p, err := Plan2DFor(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]float64, 64)
+	if err := p.CenteredSpectrumInto(context.Background(), make([]float64, 63), good); err == nil {
+		t.Error("short data accepted")
+	}
+	if err := p.CenteredSpectrumInto(context.Background(), good, make([]float64, 65)); err == nil {
+		t.Error("long dst accepted")
+	}
+	// Same element count, wrong geometry: the explicit plan check in
+	// CenteredSpectrumWith must reject it.
+	if _, err := CenteredSpectrumWith(context.Background(), p, make([]float64, 64), 4, 16); err == nil {
+		t.Error("geometry-mismatched plan accepted")
+	}
+	if _, err := CenteredSpectrumWith(context.Background(), nil, good, 8, 9); err == nil {
+		t.Error("mismatched data length accepted")
+	}
+	// Nil plan resolves from the cache and must match the composed path.
+	got, err := CenteredSpectrumWith(context.Background(), nil, good, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CenteredSpectrum(good, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := testutil.FirstDiff(got, want); i != -1 {
+		t.Fatalf("nil-plan sample %d differs", i)
+	}
+}
+
+// benchmarkColumns2D times a full planned 2-D transform at 256×256 with
+// the given column pass, single worker.
+func benchmarkColumns2D(b *testing.B, blocked bool) {
+	rng := rand.New(rand.NewSource(93))
+	data := randComplex(rng, 256*256)
+	rowPlan, err := PlanFor(256, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	colPlan, err := PlanFor(256, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]complex128, len(data))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, data)
+		if blocked {
+			if err := transformPasses(context.Background(), buf, 256, 256, rowPlan, colPlan, parallel.Workers(1)); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		for y := 0; y < 256; y++ {
+			if err := rowPlan.Transform(buf[y*256 : (y+1)*256]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := transformColumnsReference(context.Background(), buf, 256, 256, colPlan, parallel.Workers(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFFT2DBlocked256 is the cache-blocked column pass; its baseline
+// is BenchmarkFFT2DPerColumn256.
+func BenchmarkFFT2DBlocked256(b *testing.B) { benchmarkColumns2D(b, true) }
+
+// BenchmarkFFT2DPerColumn256 is the one-column-at-a-time reference pass.
+func BenchmarkFFT2DPerColumn256(b *testing.B) { benchmarkColumns2D(b, false) }
+
+// BenchmarkCenteredSpectrumInto256 is the batch-amortized spectrum path —
+// one plan, pooled scratch, fused tail — against the composed
+// BenchmarkCenteredSpectrum256 baseline.
+func BenchmarkCenteredSpectrumInto256(b *testing.B) {
+	rng := rand.New(rand.NewSource(94))
+	data := make([]float64, 256*256)
+	for i := range data {
+		data[i] = rng.Float64() * 255
+	}
+	p, err := Plan2DFor(256, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, len(data))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.CenteredSpectrumInto(context.Background(), data, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCenteredSpectrum256 is the composed unplanned spectrum.
+func BenchmarkCenteredSpectrum256(b *testing.B) {
+	rng := rand.New(rand.NewSource(94))
+	data := make([]float64, 256*256)
+	for i := range data {
+		data[i] = rng.Float64() * 255
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CenteredSpectrum(data, 256, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

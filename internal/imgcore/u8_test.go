@@ -1,0 +1,152 @@
+package imgcore
+
+import (
+	"math"
+	"testing"
+
+	"decamouflage/internal/testutil"
+)
+
+func TestU8RoundTripBitExact(t *testing.T) {
+	for _, tc := range []struct{ w, h, c int }{
+		{1, 1, 1}, {7, 3, 1}, {5, 9, 3}, {16, 1, 3}, {1, 16, 1},
+	} {
+		img := MustNew(tc.w, tc.h, tc.c)
+		for i := range img.Pix {
+			img.Pix[i] = float64((i * 37) % 256)
+		}
+		u, ok := img.ToU8()
+		if !ok {
+			t.Fatalf("%dx%dx%d: ToU8 rejected an integral image", tc.w, tc.h, tc.c)
+		}
+		back, err := FromU8(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.SameShape(img) {
+			t.Fatalf("round trip shape %v, want %v", back, img)
+		}
+		if i := testutil.FirstDiff(back.Pix, img.Pix); i >= 0 {
+			t.Fatalf("%dx%dx%d: round trip differs at %d: %v vs %v",
+				tc.w, tc.h, tc.c, i, back.Pix[i], img.Pix[i])
+		}
+	}
+}
+
+func TestToU8RejectsNonIntegral(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+	}{
+		{"fractional", 1.5},
+		{"negative", -1},
+		{"above-range", 256},
+		{"nan", math.NaN()},
+		{"posinf", math.Inf(1)},
+		{"neginf", math.Inf(-1)},
+		{"tiny-fraction", 128 + 1e-9},
+	}
+	for _, tc := range cases {
+		img := MustNew(4, 4, 1)
+		img.Pix[7] = tc.v
+		if u, ok := img.ToU8(); ok || u != nil {
+			t.Errorf("%s: ToU8 accepted sample %v", tc.name, tc.v)
+		}
+	}
+}
+
+func TestToU8AcceptsBoundaries(t *testing.T) {
+	img := MustNew(2, 1, 1)
+	img.Pix[0] = 0
+	img.Pix[1] = 255
+	u, ok := img.ToU8()
+	if !ok {
+		t.Fatal("ToU8 rejected boundary values 0 and 255")
+	}
+	if u.Pix[0] != 0 || u.Pix[1] != 255 {
+		t.Fatalf("boundary conversion = %v", u.Pix)
+	}
+}
+
+func TestToU8RejectsInvalidImage(t *testing.T) {
+	var nilImg *Image
+	if _, ok := nilImg.ToU8(); ok {
+		t.Error("nil image converted")
+	}
+	bad := &Image{W: 3, H: 3, C: 1, Pix: make([]float64, 4)}
+	if _, ok := bad.ToU8(); ok {
+		t.Error("inconsistent image converted")
+	}
+}
+
+func TestNewU8Validate(t *testing.T) {
+	if _, err := NewU8(0, 4, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewU8(4, 4, 2); err == nil {
+		t.Error("2 channels accepted")
+	}
+	u, err := NewU8(4, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.String(); got != "U8Image(4x3x3)" {
+		t.Errorf("String() = %q", got)
+	}
+	var nilU *U8Image
+	if err := nilU.Validate(); err == nil {
+		t.Error("nil U8Image validated")
+	}
+	if got := nilU.String(); got != "U8Image(nil)" {
+		t.Errorf("nil String() = %q", got)
+	}
+	short := &U8Image{W: 2, H: 2, C: 1, Pix: make([]uint8, 3)}
+	if err := short.Validate(); err == nil {
+		t.Error("short buffer validated")
+	}
+}
+
+func TestU8AtSetClone(t *testing.T) {
+	u, err := NewU8(3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Set(2, 1, 2, 200)
+	if got := u.At(2, 1, 2); got != 200 {
+		t.Fatalf("At = %d, want 200", got)
+	}
+	cl := u.Clone()
+	cl.Set(0, 0, 0, 9)
+	if u.At(0, 0, 0) == 9 {
+		t.Error("Clone shares backing storage")
+	}
+	if cl.At(2, 1, 2) != 200 {
+		t.Error("Clone dropped a sample")
+	}
+}
+
+func TestFromU8Into(t *testing.T) {
+	u, err := NewU8(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u.Pix {
+		u.Pix[i] = uint8(i * 31)
+	}
+	dst := MustNew(4, 2, 1).Fill(-1)
+	if err := FromU8Into(u, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range u.Pix {
+		if !testutil.BitEqual(dst.Pix[i], float64(v)) {
+			t.Fatalf("sample %d = %v, want %d", i, dst.Pix[i], v)
+		}
+	}
+	wrong := MustNew(2, 4, 1)
+	if err := FromU8Into(u, wrong); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

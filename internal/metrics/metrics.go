@@ -367,7 +367,28 @@ func convolveRows(tmp, src []float64, w int, kern []float64, r, yLo, yHi int) {
 		for x := 0; x < lo; x++ {
 			out[x] = convolveClampedAt(row, w, kern, r, x)
 		}
-		for x := lo; x < hi; x++ {
+		// Four output samples per iteration: each keeps its own
+		// accumulator summing taps in ascending k, so every sample's
+		// addition order — and therefore its bits — match the scalar
+		// loop, while the four independent chains hide the float64 add
+		// latency the scalar loop serializes on.
+		x := lo
+		for ; x+3 < hi; x += 4 {
+			var s0, s1, s2, s3 float64
+			base := x - r
+			for k := range kern {
+				c := kern[k]
+				s0 += c * row[base+k]
+				s1 += c * row[base+k+1]
+				s2 += c * row[base+k+2]
+				s3 += c * row[base+k+3]
+			}
+			out[x] = s0
+			out[x+1] = s1
+			out[x+2] = s2
+			out[x+3] = s3
+		}
+		for ; x < hi; x++ {
 			var s float64
 			base := x - r
 			for k := range kern {
@@ -422,7 +443,28 @@ func convolveCols(dst, tmp []float64, w, h int, kern []float64, r, xLo, xHi int)
 	for y := lo; y < hi; y++ {
 		base := (y - r) * w
 		out := dst[y*w : (y+1)*w]
-		for x := xLo; x < xHi; x++ {
+		// Same four-accumulator shape as convolveRows: per-sample tap
+		// order stays k ascending (bit-identical to the scalar loop),
+		// and the four independent sums break the serial float64 add
+		// chain that otherwise bounds the column pass.
+		x := xLo
+		for ; x+3 < xHi; x += 4 {
+			var s0, s1, s2, s3 float64
+			idx := base + x
+			for k := range kern {
+				c := kern[k]
+				s0 += c * tmp[idx]
+				s1 += c * tmp[idx+1]
+				s2 += c * tmp[idx+2]
+				s3 += c * tmp[idx+3]
+				idx += w
+			}
+			out[x] = s0
+			out[x+1] = s1
+			out[x+2] = s2
+			out[x+3] = s3
+		}
+		for ; x < xHi; x++ {
 			var s float64
 			idx := base + x
 			for k := range kern {

@@ -1,0 +1,292 @@
+// Fixed-point resize fast path. When the input is an 8-bit image the
+// separable resample can run in integer arithmetic: the vertical pass
+// accumulates uint8 samples against Q1.15 weights into int32, and the
+// horizontal pass combines those int32 intermediates against the same
+// Q1.15 weights in int64 before one final float64 division by 2^30.
+//
+// The path is deliberately NOT bit-identical to the float64 resize —
+// quantizing each weight to 15 fractional bits perturbs it by at most
+// 2^-16 — but the error is tightly bounded: each pass contributes at most
+// taps·255·2^-16 ≈ taps·0.0039 absolute, so the end-to-end output sits
+// within ~0.006·(vTaps+hTaps) of the float64 result. The pinned contract
+// (fixedTolerance, enforced by tests and the fixed-point fuzzer) is
+// 0.02·(vTaps+hTaps)+0.01 — roughly 3× headroom over the analytic bound.
+package scaling
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/parallel"
+)
+
+// fixedShift is the fractional precision of the quantized weights (Q1.15:
+// weight w becomes round(w·2^15)).
+const fixedShift = 15
+
+// fixedOne is the fixed-point representation of weight 1.0.
+const fixedOne = 1 << fixedShift
+
+// fixedCoeff is the flattened Q1.15 image of a Coeff: row i's taps are
+// idx[starts[i]:starts[i+1]] with weights w at the same positions. The
+// flat layout keeps the hot apply loops free of per-row slice headers.
+type fixedCoeff struct {
+	starts []int32
+	idx    []int32
+	w      []int32
+}
+
+// FixedTolerance returns the pinned absolute error contract of the
+// fixed-point resize against the float64 path for a vertical/horizontal
+// operator pair: 0.02·(vTaps+hTaps)+0.01, on [0,255] sample data.
+func FixedTolerance(vert, horiz *Coeff) float64 {
+	return 0.02*float64(vert.MaxTaps()+horiz.MaxTaps()) + 0.01
+}
+
+// fixed lazily quantizes the operator to Q1.15, memoized on the Coeff
+// (instances are shared through CoeffFor, so every caller of the same
+// geometry reuses one quantization). ok is false when any row's absolute
+// fixed-weight sum could overflow the int32 pass-1 accumulator on
+// [0,255] inputs — callers then stay on the float64 path.
+func (c *Coeff) fixed() (fc *fixedCoeff, ok bool) {
+	c.fixedOnce.Do(func() {
+		n := 0
+		for _, r := range c.Rows {
+			n += len(r.Idx)
+		}
+		built := &fixedCoeff{
+			starts: make([]int32, len(c.Rows)+1),
+			idx:    make([]int32, 0, n),
+			w:      make([]int32, 0, n),
+		}
+		// Pass 1 computes Σ w·src with src ≤ 255; the accumulator is an
+		// int32, so each row's Σ|w_fixed| must stay below 2^31/255.
+		const maxAbsSum = math.MaxInt32 / 255
+		for i, r := range c.Rows {
+			var absSum int64
+			for k, j := range r.Idx {
+				wq := int32(math.Round(r.W[k] * fixedOne))
+				built.idx = append(built.idx, int32(j))
+				built.w = append(built.w, wq)
+				if wq < 0 {
+					absSum -= int64(wq)
+				} else {
+					absSum += int64(wq)
+				}
+			}
+			if absSum > maxAbsSum {
+				return // c.fixedC stays nil; fixed() reports !ok forever
+			}
+			built.starts[i+1] = int32(len(built.idx))
+		}
+		c.fixedC = built
+	})
+	return c.fixedC, c.fixedC != nil
+}
+
+// applyFixedU8 is the Q1.15 vertical pass: dst[i] = Σ w·src over row i's
+// taps, at scale 2^15.
+//
+//declint:hot
+func applyFixedU8(fc *fixedCoeff, src []uint8, srcStride int, dst []int32, dstStride int) {
+	for i := 0; i < len(fc.starts)-1; i++ {
+		var s int32
+		for t := fc.starts[i]; t < fc.starts[i+1]; t++ {
+			s += fc.w[t] * int32(src[int(fc.idx[t])*srcStride])
+		}
+		dst[i*dstStride] = s
+	}
+}
+
+// applyFixedU8x4 is applyFixedU8 over four adjacent columns at once:
+// outputs off..off+3 of every destination row. The four samples under one
+// tap are contiguous bytes, so each (weight, index) pair is fetched once
+// and feeds four independent integer accumulators. Integer addition is
+// exact, so the result is bit-identical to four scalar calls.
+//
+//declint:hot
+func applyFixedU8x4(fc *fixedCoeff, src []uint8, off, srcStride int, dst []int32, dstStride int) {
+	for i := 0; i < len(fc.starts)-1; i++ {
+		var s0, s1, s2, s3 int32
+		for t := fc.starts[i]; t < fc.starts[i+1]; t++ {
+			base := int(fc.idx[t])*srcStride + off
+			c := fc.w[t]
+			s0 += c * int32(src[base])
+			s1 += c * int32(src[base+1])
+			s2 += c * int32(src[base+2])
+			s3 += c * int32(src[base+3])
+		}
+		d := i*dstStride + off
+		dst[d] = s0
+		dst[d+1] = s1
+		dst[d+2] = s2
+		dst[d+3] = s3
+	}
+}
+
+// applyFixedI32 is the Q1.15 horizontal pass over pass-1 intermediates:
+// dst[i] = (Σ w·src)·invScale with an int64 accumulator (src carries
+// scale 2^15, so the product carries 2^30 and invScale is 2^-30).
+//
+//declint:hot
+func applyFixedI32(fc *fixedCoeff, src []int32, srcStride int, dst []float64, dstStride int, invScale float64) {
+	for i := 0; i < len(fc.starts)-1; i++ {
+		var s int64
+		for t := fc.starts[i]; t < fc.starts[i+1]; t++ {
+			s += int64(fc.w[t]) * int64(src[int(fc.idx[t])*srcStride])
+		}
+		dst[i*dstStride] = float64(s) * invScale
+	}
+}
+
+// applyFixedI32c3 is the horizontal pass with the three RGB channels
+// fused: one (weight, index) fetch per tap feeds three accumulators whose
+// source samples are adjacent int32s. Bit-identical to three scalar
+// applyFixedI32 calls (integer accumulation is exact; the single float64
+// conversion per output is unchanged).
+//
+//declint:hot
+func applyFixedI32c3(fc *fixedCoeff, src []int32, dst []float64, invScale float64) {
+	for i := 0; i < len(fc.starts)-1; i++ {
+		var s0, s1, s2 int64
+		for t := fc.starts[i]; t < fc.starts[i+1]; t++ {
+			base := int(fc.idx[t]) * 3
+			c := int64(fc.w[t])
+			s0 += c * int64(src[base])
+			s1 += c * int64(src[base+1])
+			s2 += c * int64(src[base+2])
+		}
+		dst[i*3] = float64(s0) * invScale
+		dst[i*3+1] = float64(s1) * invScale
+		dst[i*3+2] = float64(s2) * invScale
+	}
+}
+
+// fixedMidPool recycles the int32 intermediate buffers of the fixed-point
+// resize, mirroring midPool on the float64 path.
+var fixedMidPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// ResizeU8 resamples an 8-bit image to (dstW×dstH) through the Q1.15
+// fixed-point path, agreeing with Resize over FromU8(u) within
+// FixedTolerance. Operators that cannot be quantized safely fall back to
+// the float64 path.
+func ResizeU8(u *imgcore.U8Image, dstW, dstH int, opts Options) (*imgcore.Image, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	horiz, err := CoeffFor(u.W, dstW, opts)
+	if err != nil {
+		return nil, err
+	}
+	vert, err := CoeffFor(u.H, dstH, opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := imgcore.New(dstW, dstH, u.C)
+	if err != nil {
+		return nil, err
+	}
+	if err := resizeU8Into(context.Background(), u, out, horiz, vert); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ResizeU8Into resamples an 8-bit image into dst, which must already have
+// the scaler's destination geometry and u's channel count — the
+// fixed-point sibling of ResizeInto.
+func (s *Scaler) ResizeU8Into(ctx context.Context, u *imgcore.U8Image, dst *imgcore.Image, popts ...parallel.Option) error {
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	if err := dst.Validate(); err != nil {
+		return err
+	}
+	if dst.W != s.dstW || dst.H != s.dstH || dst.C != u.C {
+		return fmt.Errorf("%w: dst %dx%dx%d, want %dx%dx%d", ErrBadSize,
+			dst.W, dst.H, dst.C, s.dstW, s.dstH, u.C)
+	}
+	horiz, vert := s.horiz, s.vert
+	if u.W != s.srcW {
+		var err error
+		horiz, err = CoeffFor(u.W, s.dstW, s.opts)
+		if err != nil {
+			return err
+		}
+	}
+	if u.H != s.srcH {
+		var err error
+		vert, err = CoeffFor(u.H, s.dstH, s.opts)
+		if err != nil {
+			return err
+		}
+	}
+	return resizeU8Into(ctx, u, dst, horiz, vert, popts...)
+}
+
+// resizeU8Into applies the separable fixed-point operator: vertical pass
+// into a pooled int32 intermediate, then the horizontal pass with the
+// single float64 conversion at the end. Band decomposition mirrors
+// resizeInto, so the result is worker-count independent. Operators whose
+// quantization would overflow reroute through the float64 path.
+func resizeU8Into(ctx context.Context, u *imgcore.U8Image, out *imgcore.Image, horiz, vert *Coeff, popts ...parallel.Option) error {
+	vfc, vok := vert.fixed()
+	hfc, hok := horiz.fixed()
+	if !vok || !hok {
+		wide, err := imgcore.FromU8(u)
+		if err != nil {
+			return err
+		}
+		return resizeInto(ctx, wide, out, horiz, vert, popts...)
+	}
+	dstW, dstH := horiz.M, vert.M
+	midN := u.W * dstH * u.C
+	mp := fixedMidPool.Get().(*[]int32)
+	defer fixedMidPool.Put(mp)
+	if cap(*mp) < midN {
+		*mp = make([]int32, midN)
+	}
+	mid := (*mp)[:midN]
+	rowStride := u.W * u.C
+	vertCost := dstH * u.C * vert.MaxTaps()
+	vertOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(vertCost, minResizeWork)),
+	}, popts...)
+	err := parallel.For(ctx, u.W, func(xLo, xHi int) error {
+		// (x, c) enumerates consecutive sample offsets, so the band is one
+		// flat run of columns; the x4 kernel takes four per step.
+		off, hi := xLo*u.C, xHi*u.C
+		for ; off+3 < hi; off += 4 {
+			applyFixedU8x4(vfc, u.Pix, off, rowStride, mid, rowStride)
+		}
+		for ; off < hi; off++ {
+			applyFixedU8(vfc, u.Pix[off:], rowStride, mid[off:], rowStride)
+		}
+		return nil
+	}, vertOpts...)
+	if err != nil {
+		return err
+	}
+	const invScale = 1.0 / (fixedOne * fixedOne)
+	horizCost := dstW * u.C * horiz.MaxTaps()
+	horizOpts := append([]parallel.Option{
+		parallel.Grain(parallel.GrainForWidth(horizCost, minResizeWork)),
+	}, popts...)
+	return parallel.For(ctx, dstH, func(yLo, yHi int) error {
+		for y := yLo; y < yHi; y++ {
+			if u.C == 3 {
+				applyFixedI32c3(hfc, mid[y*rowStride:], out.Pix[y*dstW*3:], invScale)
+				continue
+			}
+			for c := 0; c < u.C; c++ {
+				srcOff := y*rowStride + c
+				dstOff := y*dstW*u.C + c
+				applyFixedI32(hfc, mid[srcOff:], u.C, out.Pix[dstOff:], u.C, invScale)
+			}
+		}
+		return nil
+	}, horizOpts...)
+}

@@ -1,0 +1,244 @@
+package scaling
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/parallel"
+	"decamouflage/internal/testutil"
+)
+
+func noiseU8Image(t testing.TB, rng *rand.Rand, w, h, c int) *imgcore.U8Image {
+	t.Helper()
+	u, err := imgcore.NewU8(w, h, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u.Pix {
+		u.Pix[i] = uint8(rng.Intn(256))
+	}
+	return u
+}
+
+// TestResizeU8WithinFixedTolerance pins the fixed-point resize contract:
+// for every algorithm, up- and downscaling, both channel counts and a
+// geometry corpus, ResizeU8 must agree with Resize over FromU8(u) within
+// FixedTolerance of the operator pair.
+func TestResizeU8WithinFixedTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	algs := []Algorithm{Nearest, Bilinear, Bicubic, Lanczos, Area, Lanczos4}
+	geoms := []struct{ sw, sh, dw, dh int }{
+		{16, 16, 4, 4},
+		{31, 17, 8, 8},
+		{64, 48, 16, 16},
+		{12, 12, 30, 30}, // upscale
+		{128, 128, 32, 32},
+		{9, 27, 27, 9}, // anisotropic
+	}
+	for _, alg := range algs {
+		opts := Options{Algorithm: alg}
+		for _, g := range geoms {
+			for _, c := range []int{1, 3} {
+				u := noiseU8Image(t, rng, g.sw, g.sh, c)
+				wide, err := imgcore.FromU8(u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Resize(wide, g.dw, g.dh, opts)
+				if err != nil {
+					t.Fatalf("%v %v float: %v", alg, g, err)
+				}
+				got, err := ResizeU8(u, g.dw, g.dh, opts)
+				if err != nil {
+					t.Fatalf("%v %v fixed: %v", alg, g, err)
+				}
+				horiz, err := CoeffFor(g.sw, g.dw, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vert, err := CoeffFor(g.sh, g.dh, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tol := FixedTolerance(vert, horiz)
+				for i := range want.Pix {
+					if !testutil.ApproxEqual(got.Pix[i], want.Pix[i], 0, tol) {
+						t.Fatalf("%v %dx%d->%dx%d c=%d sample %d: fixed %v vs float %v (Δ=%v, tol %v)",
+							alg, g.sw, g.sh, g.dw, g.dh, c, i,
+							got.Pix[i], want.Pix[i], got.Pix[i]-want.Pix[i], tol)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestResizeU8NearestBitExact: Nearest rows are a single weight-1 tap, so
+// the Q1.15 quantization is exact and the fixed path must match the
+// float64 path bit-for-bit, not merely within tolerance.
+func TestResizeU8NearestBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	u := noiseU8Image(t, rng, 37, 23, 3)
+	wide, err := imgcore.FromU8(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Algorithm: Nearest}
+	want, err := Resize(wide, 11, 13, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResizeU8(u, 11, 13, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := testutil.FirstDiff(got.Pix, want.Pix); i != -1 {
+		t.Fatalf("nearest sample %d: fixed %v vs float %v", i, got.Pix[i], want.Pix[i])
+	}
+}
+
+// TestResizeU8ConstantPreservation: rows normalize to weight sum 1, whose
+// Q1.15 image is off by at most taps/2 ulps of 2^-15 — a constant 8-bit
+// image must resize to within that quantization residue of itself.
+func TestResizeU8ConstantPreservation(t *testing.T) {
+	u, err := imgcore.NewU8(32, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u.Pix {
+		u.Pix[i] = 128
+	}
+	for _, alg := range []Algorithm{Bilinear, Bicubic, Lanczos4, Area} {
+		got, err := ResizeU8(u, 8, 8, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		for i, v := range got.Pix {
+			if math.Abs(v-128) > 0.05 {
+				t.Fatalf("%v sample %d: constant 128 resized to %v", alg, i, v)
+			}
+		}
+	}
+}
+
+// TestResizeU8IntoMatchesResizeU8 pins the into-variant and its shape
+// validation.
+func TestResizeU8IntoMatchesResizeU8(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	u := noiseU8Image(t, rng, 40, 30, 3)
+	opts := Options{Algorithm: Lanczos4}
+	s, err := NewScaler(40, 30, 10, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ResizeU8(u, 10, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := imgcore.MustNew(10, 10, 3)
+	if err := s.ResizeU8Into(context.Background(), u, dst); err != nil {
+		t.Fatal(err)
+	}
+	if i := testutil.FirstDiff(dst.Pix, want.Pix); i != -1 {
+		t.Fatalf("sample %d: into %v vs direct %v", i, dst.Pix[i], want.Pix[i])
+	}
+	// Off-geometry input reroutes through CoeffFor like ResizeInto does.
+	small := noiseU8Image(t, rng, 20, 20, 3)
+	wide, err := imgcore.FromU8(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResizeU8Into(context.Background(), small, dst); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Resize(wide, 10, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horiz, err := CoeffFor(20, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := FixedTolerance(horiz, horiz)
+	for i := range ref.Pix {
+		if !testutil.ApproxEqual(dst.Pix[i], ref.Pix[i], 0, tol) {
+			t.Fatalf("derived-geometry sample %d: %v vs %v", i, dst.Pix[i], ref.Pix[i])
+		}
+	}
+	// Shape mismatches are rejected up front.
+	bad := imgcore.MustNew(9, 10, 3)
+	if err := s.ResizeU8Into(context.Background(), u, bad); err == nil {
+		t.Error("mismatched dst accepted")
+	}
+	gray := imgcore.MustNew(10, 10, 1)
+	if err := s.ResizeU8Into(context.Background(), u, gray); err == nil {
+		t.Error("channel-mismatched dst accepted")
+	}
+	if err := s.ResizeU8Into(context.Background(), &imgcore.U8Image{}, dst); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// TestResizeU8SerialParallelEquivalence: the fixed-point band sweeps must
+// be bit-identical across worker counts.
+func TestResizeU8SerialParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	u := noiseU8Image(t, rng, 64, 48, 3)
+	opts := Options{Algorithm: Lanczos4}
+	s, err := NewScaler(64, 48, 16, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := imgcore.MustNew(16, 16, 3)
+	if err := s.ResizeU8Into(context.Background(), u, want, parallel.Workers(1), parallel.Grain(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		got := imgcore.MustNew(16, 16, 3)
+		if err := s.ResizeU8Into(context.Background(), u, got, parallel.Workers(workers), parallel.Grain(1)); err != nil {
+			t.Fatal(err)
+		}
+		if i := testutil.FirstDiff(got.Pix, want.Pix); i != -1 {
+			t.Fatalf("workers=%d: sample %d differs", workers, i)
+		}
+	}
+}
+
+// TestFixedQuantizationMemoized: fixed() must build the Q1.15 image once
+// and hand every caller the same instance.
+func TestFixedQuantizationMemoized(t *testing.T) {
+	c, err := BuildCoeff(64, 16, Options{Algorithm: Bicubic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := c.fixed()
+	if !ok || a == nil {
+		t.Fatal("fixed() failed on a plain bicubic operator")
+	}
+	b, ok := c.fixed()
+	if !ok || b != a {
+		t.Error("fixed() rebuilt the quantization on the second call")
+	}
+}
+
+// BenchmarkResizeFixed256 is the Q1.15 bilinear 256→64 downscale, single
+// worker; its float64 counterpart is BenchmarkResize256Serial.
+func BenchmarkResizeFixed256(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	u := noiseU8Image(b, rng, 256, 256, 3)
+	s, err := NewScaler(256, 256, 64, 64, Options{Algorithm: Bilinear})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := imgcore.MustNew(64, 64, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ResizeU8Into(context.Background(), u, dst, parallel.Workers(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
