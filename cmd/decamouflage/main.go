@@ -76,7 +76,15 @@ func run(args []string, out io.Writer) (err error) {
 		metricsFmt = fs.String("metrics-format", "", "metrics dump format: json (default) or prom")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
-		httpDebug  = fs.String("httpdebug", "", "serve /healthz, /metrics and /debug/pprof on this address")
+		httpDebug  = fs.String("httpdebug", "", "serve /healthz, /metrics, /debug/events and /debug/pprof on this address")
+
+		eventsOut   = fs.String("events-out", "", `dump flight-recorder events as NDJSON on exit ("-" for stdout)`)
+		eventsBuf   = fs.Int("events-buffer", 0, "flight-recorder ring capacity (implies recording; default 1024)")
+		traceKeep   = fs.Int("trace-keep", 0, "retain up to this many sampled traces (implies tail sampling)")
+		traceOut    = fs.String("trace-out", "", `dump retained traces as NDJSON on exit ("-" for stdout)`)
+		traceSample = fs.Float64("trace-sample", 0, "probability of retaining an unremarkable trace (errors/records/slow always kept)")
+		watchdog    = fs.Bool("watchdog", false, "sample runtime health (GC, heap, goroutines, scheduler lag) into gauges")
+		watchdogMs  = fs.Int("watchdog-interval", 0, "watchdog sampling interval in milliseconds (default 1000)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,7 +138,20 @@ func run(args []string, out io.Writer) (err error) {
 	}
 
 	// Observability: the persisted config is the base, flags win.
-	settings := obsSettings(sysCfg, *metricsOut, *metricsFmt, *cpuProfile, *memProfile, *httpDebug)
+	settings := obsSettings(sysCfg, obs.Settings{
+		MetricsOut:         *metricsOut,
+		MetricsFormat:      *metricsFmt,
+		CPUProfile:         *cpuProfile,
+		MemProfile:         *memProfile,
+		DebugAddr:          *httpDebug,
+		EventsOut:          *eventsOut,
+		EventBuffer:        *eventsBuf,
+		TraceKeep:          *traceKeep,
+		TraceOut:           *traceOut,
+		TraceSample:        *traceSample,
+		Watchdog:           *watchdog,
+		WatchdogIntervalMs: *watchdogMs,
+	})
 	sess, err := settings.Apply()
 	if err != nil {
 		return err
@@ -221,25 +242,46 @@ func run(args []string, out io.Writer) (err error) {
 
 // obsSettings merges the CLI observability flags over the system config's
 // persisted settings; any flag given on the command line wins.
-func obsSettings(cfg *detect.SystemConfig, metricsOut, metricsFmt, cpu, mem, debug string) obs.Settings {
+func obsSettings(cfg *detect.SystemConfig, flags obs.Settings) obs.Settings {
 	var s obs.Settings
 	if cfg != nil && cfg.Obs != nil {
 		s = *cfg.Obs
 	}
-	if metricsOut != "" {
-		s.MetricsOut = metricsOut
+	if flags.MetricsOut != "" {
+		s.MetricsOut = flags.MetricsOut
 	}
-	if metricsFmt != "" {
-		s.MetricsFormat = metricsFmt
+	if flags.MetricsFormat != "" {
+		s.MetricsFormat = flags.MetricsFormat
 	}
-	if cpu != "" {
-		s.CPUProfile = cpu
+	if flags.CPUProfile != "" {
+		s.CPUProfile = flags.CPUProfile
 	}
-	if mem != "" {
-		s.MemProfile = mem
+	if flags.MemProfile != "" {
+		s.MemProfile = flags.MemProfile
 	}
-	if debug != "" {
-		s.DebugAddr = debug
+	if flags.DebugAddr != "" {
+		s.DebugAddr = flags.DebugAddr
+	}
+	if flags.EventsOut != "" {
+		s.EventsOut = flags.EventsOut
+	}
+	if flags.EventBuffer > 0 {
+		s.EventBuffer = flags.EventBuffer
+	}
+	if flags.TraceKeep > 0 {
+		s.TraceKeep = flags.TraceKeep
+	}
+	if flags.TraceOut != "" {
+		s.TraceOut = flags.TraceOut
+	}
+	if flags.TraceSample > 0 {
+		s.TraceSample = flags.TraceSample
+	}
+	if flags.Watchdog {
+		s.Watchdog = true
+	}
+	if flags.WatchdogIntervalMs > 0 {
+		s.WatchdogIntervalMs = flags.WatchdogIntervalMs
 	}
 	return s
 }

@@ -309,3 +309,42 @@ func TestRunBadMetricsFormat(t *testing.T) {
 		t.Errorf("bad metrics format error = %v", err)
 	}
 }
+
+// TestRunFlightRecorder pins the CLI's recording session: -events-out and
+// -trace-out produce non-empty NDJSON dumps whose events carry the
+// per-image wide-event fields, and -watchdog rides along without output.
+func TestRunFlightRecorder(t *testing.T) {
+	requireObs(t)
+	benign, atk, _, dir := writeFixtures(t)
+	evPath := filepath.Join(dir, "events.ndjson")
+	trPath := filepath.Join(dir, "traces.ndjson")
+	var out strings.Builder
+	err := run([]string{"-dst", "24x24",
+		"-events-out", evPath, "-trace-keep", "8", "-trace-out", trPath,
+		"-watchdog", "-watchdog-interval", "20",
+		benign, atk}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One wide event per classified image, each traced and attributed.
+	// (The root stage repeats the event name, so count NDJSON lines.)
+	if got := strings.Count(strings.TrimRight(string(ev), "\n"), "\n") + 1; got != 2 {
+		t.Errorf("events dump has %d detect events, want 2:\n%s", got, ev)
+	}
+	for _, want := range []string{`"trace_id":"`, `"verdict":"`, `"methods":[`, `"stages":[`} {
+		if !strings.Contains(string(ev), want) {
+			t.Errorf("events dump missing %q:\n%s", want, ev)
+		}
+	}
+	tr, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tr), `"reason":"`) || !strings.Contains(string(tr), `"spans":[`) {
+		t.Errorf("trace dump missing retained traces:\n%s", tr)
+	}
+}

@@ -104,7 +104,7 @@ func TestListFlag(t *testing.T) {
 		"ctxflow      dropped or re-minted contexts in internal library code",
 		"poollife     pooled buffers not released exactly once on every path",
 		"memopure     memoized stage closures that are not pure functions of their key",
-		"obscover     pipeline stages or caches missing obs instrumentation",
+		"obscover     pipeline stages, caches or event emitters missing obs instrumentation",
 		"",
 	}, "\n")
 	if stdout != want {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -83,5 +85,132 @@ func TestRunBadMetricsFormat(t *testing.T) {
 		"-metrics-out", filepath.Join(t.TempDir(), "m.txt"), "-metrics-format", "bogus"})
 	if err == nil || !strings.Contains(err.Error(), "metrics format") {
 		t.Errorf("bad metrics format error = %v", err)
+	}
+}
+
+// decodeNDJSON reads one JSON value per line from path.
+func decodeNDJSON[T any](t *testing.T, path string) []T {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []T
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var v T
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunFlightRecorderEndToEnd is the acceptance run: a full ensemble
+// experiment with the recorder, tail sampler and watchdog installed must
+// produce a wide event per detected image whose stage durations fit the
+// span-tree total, and the latency histogram's top exemplar must resolve
+// to both a retained trace and a recorded event.
+func TestRunFlightRecorderEndToEnd(t *testing.T) {
+	obs.Enable()
+	enabled := obs.Enabled()
+	obs.Disable()
+	if !enabled {
+		t.Skip("observability compiled out (noobs)")
+	}
+	t.Cleanup(obs.Disable)
+
+	dir := t.TempDir()
+	evPath := filepath.Join(dir, "events.ndjson")
+	trPath := filepath.Join(dir, "traces.ndjson")
+	mPath := filepath.Join(dir, "metrics.json")
+	err := run([]string{"-run", "T8", "-n", "6", "-src", "48x48", "-dst", "16x16",
+		"-events-out", evPath, "-trace-keep", "64", "-trace-out", trPath,
+		"-metrics-out", mPath, "-watchdog", "-watchdog-interval", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := decodeNDJSON[obs.Event](t, evPath)
+	detects := 0
+	for _, ev := range events {
+		if ev.Name != "ensemble.detect" {
+			continue
+		}
+		detects++
+		if ev.TraceID == "" {
+			t.Fatalf("detect event without trace ID: %+v", ev)
+		}
+		if len(ev.Stages) == 0 || ev.Stages[0].Depth != 0 {
+			t.Fatalf("detect event without a rooted span tree: %+v", ev)
+		}
+		// Per-stage durations are attributed from the span tree, so every
+		// stage must fit inside the event's total (methods overlap in
+		// parallel, so the invariant is per-stage, not a flat sum).
+		for _, sd := range ev.Stages {
+			if sd.DurNs < 0 || sd.DurNs > ev.DurNs {
+				t.Fatalf("stage %q (%dns) outside event total %dns, trace %s",
+					sd.Name, sd.DurNs, ev.DurNs, ev.TraceID)
+			}
+			if sd.OffsetNs < 0 || sd.OffsetNs > ev.DurNs {
+				t.Fatalf("stage %q offset %dns outside event total %dns",
+					sd.Name, sd.OffsetNs, ev.DurNs)
+			}
+		}
+	}
+	if detects == 0 {
+		t.Fatal("T8 run recorded no detect events")
+	}
+
+	traces := decodeNDJSON[obs.RetainedTrace](t, trPath)
+	if len(traces) == 0 {
+		t.Fatal("T8 run retained no traces")
+	}
+
+	// The slowest-bucket exemplar is the run's record duration, which the
+	// tail sampler always retains: it must resolve end to end.
+	data, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	hs, ok := snap.Histograms["detect.ensemble.seconds"]
+	if !ok || len(hs.Exemplars) == 0 {
+		t.Fatalf("metrics snapshot has no detect.ensemble.seconds exemplars: %+v", hs)
+	}
+	top := hs.Exemplars[0]
+	for _, x := range hs.Exemplars {
+		if x.ValueMs > top.ValueMs {
+			top = x
+		}
+	}
+	foundTrace := false
+	for _, rt := range traces {
+		if rt.ID == top.TraceID {
+			foundTrace = true
+			break
+		}
+	}
+	if !foundTrace {
+		t.Errorf("top exemplar trace %q not among %d retained traces", top.TraceID, len(traces))
+	}
+	foundEvent := false
+	for _, ev := range events {
+		if ev.TraceID == top.TraceID {
+			foundEvent = true
+			break
+		}
+	}
+	if !foundEvent {
+		t.Errorf("top exemplar trace %q has no recorded event", top.TraceID)
 	}
 }

@@ -46,8 +46,10 @@
 //	memopure     memoized pipeline-stage compute closures must be pure
 //	             functions of their stage key: no captured or package-level
 //	             writes, no reachable nondeterministic source
-//	obscover     every memoized stage opens an obs span and every LRU cache
-//	             registers real obs stats, so instrumentation cannot rot
+//	obscover     every memoized stage opens an obs span, every LRU cache
+//	             registers real obs stats, and every flight-recorder event
+//	             is emitted inside an active span, so instrumentation
+//	             cannot rot
 //
 // Function summaries are cached on disk (Config.CacheDir) keyed by the
 // package's transitive content hash, so warm full-repo runs skip the
@@ -128,6 +130,13 @@ type Config struct {
 	// CachePkg is the package whose NewLRU constructor obscover audits for
 	// nil stats registrations.
 	CachePkg string
+	// RecorderTypes are the qualified flight-recorder types
+	// ("pkgpath.TypeName", suffix-matched) whose Record method obscover
+	// requires to be called inside an active span — after an ObsPkg
+	// StartSpan/StartStage call in the same function — so every wide
+	// event carries a trace ID and stage attribution. ObsPkg itself is
+	// exempt (the watchdog records health events with no request span).
+	RecorderTypes []string
 	// CacheDir, when non-empty, holds the per-package function-summary
 	// JSON files keyed by transitive content hash. Empty disables caching.
 	CacheDir string
@@ -158,6 +167,7 @@ func DefaultConfig() Config {
 		TaintExemptPkgs: []string{"internal/obs"},
 		MemoTypes:       []string{"internal/detect.Intermediates"},
 		CachePkg:        "internal/cache",
+		RecorderTypes:   []string{"internal/obs.Recorder"},
 	}
 }
 
@@ -186,7 +196,7 @@ var registry = []check{
 	{name: "ctxflow", doc: "dropped or re-minted contexts in internal library code", runModule: checkCtxFlow},
 	{name: "poollife", doc: "pooled buffers not released exactly once on every path", runModule: checkPoolLife},
 	{name: "memopure", doc: "memoized stage closures that are not pure functions of their key", runModule: checkMemoPure},
-	{name: "obscover", doc: "pipeline stages or caches missing obs instrumentation", runModule: checkObsCover},
+	{name: "obscover", doc: "pipeline stages, caches or event emitters missing obs instrumentation", runModule: checkObsCover},
 }
 
 // Checks lists the registered check names and one-line descriptions.

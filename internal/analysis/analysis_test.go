@@ -184,6 +184,15 @@ func TestGoldenFindings(t *testing.T) {
 			},
 		},
 		{
+			fixture: "eventspan",
+			want: []string{
+				"internal/detect/emit.go:17 obscover", // Untraced: no span at all
+				"internal/detect/emit.go:23 obscover", // Late: span opened after the event
+				// Traced is covered; Waived is annotated; the obs package's
+				// own watchdog emitter is exempt.
+			},
+		},
+		{
 			fixture: "suppress",
 			want: []string{
 				"internal/scaling/bad.go:7 declint",  // directive names no check

@@ -57,8 +57,16 @@ func memoClosures(pkg *Package, cfg Config) []memoClosure {
 }
 
 func isMemoCall(info *types.Info, call *ast.CallExpr, memoTypes []string) bool {
+	return isMethodCallOn(info, call, "memo", memoTypes)
+}
+
+// isMethodCallOn reports whether call invokes the named method on a
+// receiver whose qualified type ("pkgpath.TypeName") matches one of the
+// given suffixes — the shared matcher behind the memo-table and
+// flight-recorder audits.
+func isMethodCallOn(info *types.Info, call *ast.CallExpr, name string, typeSuffixes []string) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "memo" {
+	if !ok || sel.Sel.Name != name {
 		return false
 	}
 	s, ok := info.Selections[sel]
@@ -74,7 +82,7 @@ func isMemoCall(info *types.Info, call *ast.CallExpr, memoTypes []string) bool {
 		return false
 	}
 	qual := named.Obj().Pkg().Path() + "." + named.Obj().Name()
-	for _, m := range memoTypes {
+	for _, m := range typeSuffixes {
 		if qual == m || strings.HasSuffix(qual, "/"+m) {
 			return true
 		}
@@ -199,8 +207,10 @@ func memoPureClosure(mc memoClosure, sources, gwrites *reachFinder, ix *Index) [
 
 // checkObsCover keeps instrumentation from rotting: every memoized pipeline
 // stage must open an obs stage span (obs.StartStage with a real histogram)
-// inside its compute closure, and every cache built with cache.NewLRU must
-// be registered with real obs cache stats rather than nil.
+// inside its compute closure, every cache built with cache.NewLRU must be
+// registered with real obs cache stats rather than nil, and every
+// flight-recorder event must be emitted inside an active span so it
+// carries a trace ID and stage attribution (obsCoverEvents).
 func checkObsCover(pkgs []*Package, cfg Config, ix *Index) []Finding {
 	var out []Finding
 	for _, pkg := range pkgs {
@@ -210,6 +220,7 @@ func checkObsCover(pkgs []*Package, cfg Config, ix *Index) []Finding {
 		for _, mc := range memoClosures(pkg, cfg) {
 			out = append(out, obsCoverStage(mc, cfg)...)
 		}
+		out = append(out, obsCoverEvents(pkg, cfg)...)
 		for _, f := range pkg.Files {
 			if f.Test {
 				continue
@@ -278,6 +289,72 @@ func obsCoverStage(mc memoClosure, cfg Config) []Finding {
 			Msg: "memoized stage records no obs span; call obs.StartStage " +
 				"with the stage's histogram inside the compute closure",
 		})
+	}
+	return out
+}
+
+// obsCoverEvents keeps wide events attributable: any function outside the
+// obs package that calls Record on a flight recorder (cfg.RecorderTypes)
+// must have opened an obs span lexically earlier in the same function —
+// via ObsPkg's StartSpan or StartStage — else the event it emits carries
+// no trace ID and no stage tree, and the exemplar/trace/event linkage the
+// recorder exists for is silently severed. The obs package itself is
+// exempt: the runtime watchdog records health events that belong to no
+// request and so have no span to sit inside.
+func obsCoverEvents(pkg *Package, cfg Config) []Finding {
+	if len(cfg.RecorderTypes) == 0 {
+		return nil
+	}
+	if cfg.ObsPkg != "" &&
+		(pkg.HasSuffix(cfg.ObsPkg) || pkg.HasSuffix(cfg.ObsPkg+"_test")) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var starts []token.Pos
+			var records []*ast.CallExpr
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun := ast.Unparen(call.Fun)
+				if selectsPkgFuncSuffix(pkg.Info, fun, cfg.ObsPkg, "StartStage") ||
+					selectsPkgFuncSuffix(pkg.Info, fun, cfg.ObsPkg, "StartSpan") {
+					starts = append(starts, call.Pos())
+					return true
+				}
+				if isMethodCallOn(pkg.Info, call, "Record", cfg.RecorderTypes) {
+					records = append(records, call)
+				}
+				return true
+			})
+			for _, call := range records {
+				covered := false
+				for _, p := range starts {
+					if p < call.Pos() {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					out = append(out, Finding{
+						Check: "obscover", Pos: pkg.pos(call),
+						Msg: "flight-recorder event emitted outside an active span; " +
+							"open one with obs.StartSpan or obs.StartStage first so " +
+							"the event carries a trace ID and stage attribution",
+					})
+				}
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,32 @@
+// Fixture: event-in-span coverage. Traced opens a span before recording;
+// Untraced never opens one; Late opens it only after the event is out;
+// Waived is annotated.
+package detect
+
+import "eventspan/internal/obs"
+
+// Traced opens a stage span before emitting its wide event: silent.
+func Traced() {
+	sp := obs.StartStage("detect")
+	defer sp.End()
+	obs.Events().Record(obs.Event{Name: "detect"})
+}
+
+// Untraced emits a wide event with no span anywhere in the function.
+func Untraced() {
+	obs.Events().Record(obs.Event{Name: "detect"})
+}
+
+// Late opens its span only after the event has been emitted, so the
+// event still carries no trace ID.
+func Late() {
+	obs.Events().Record(obs.Event{Name: "late"})
+	sp := obs.StartSpan("late")
+	defer sp.End()
+}
+
+// Waived emits without a span but carries an annotation: suppressed.
+func Waived() {
+	//declint:ignore obscover boot-time event, no request to trace
+	obs.Events().Record(obs.Event{Name: "boot"})
+}

@@ -1,0 +1,42 @@
+// Fixture stand-in for the observability package: just enough surface for
+// the event-in-span rule — the flight recorder, the two span starters,
+// and a watchdog-style emitter that is exempt because it lives in obs.
+package obs
+
+// Event is one wide flight-recorder event.
+type Event struct {
+	Name string
+}
+
+// Recorder is the flight-recorder ring.
+type Recorder struct {
+	events []Event
+}
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) {
+	r.events = append(r.events, ev)
+}
+
+var current = &Recorder{}
+
+// Events returns the installed recorder.
+func Events() *Recorder { return current }
+
+// Span is an open span handle.
+type Span struct{ name string }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// StartSpan opens a plain span.
+func StartSpan(name string) *Span { return &Span{name: name} }
+
+// StartStage opens a stage span.
+func StartStage(name string) *Span { return &Span{name: name} }
+
+// watchdogTick records a health event that belongs to no request: silent,
+// the obs package is exempt from the event-in-span rule.
+func watchdogTick(r *Recorder) {
+	r.Record(Event{Name: "watchdog"})
+}

@@ -115,8 +115,16 @@ func (e *Ensemble) detect(ctx context.Context, img *imgcore.Image, popts ...para
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
+	// Flight recorder: when one is installed, every image is traced — the
+	// wide event attributes per-stage latency from the span tree, and the
+	// finished tree is offered to the tail sampler. Callers that already
+	// traced the context keep their trace (and own its End/retention).
+	rec := obs.Events()
+	var tr *obs.Trace
+	if rec.Active() && obs.TraceID(ctx) == "" {
+		ctx, tr = obs.WithTrace(ctx, "ensemble.detect")
+	}
 	sctx, st := obs.StartStage(ctx, "ensemble.detect", e.detectH)
-	defer st.End()
 	in := e.pipe.intermediates(img)
 	// parallel.Do waits for in-flight tasks even on error/cancellation, so
 	// no task can still be reading the pooled substrates when they return
@@ -134,10 +142,23 @@ func (e *Ensemble) detect(ctx context.Context, img *imgcore.Image, popts ...para
 			return nil
 		}
 	}
-	if err := parallel.Do(ctx, tasks, popts...); err != nil {
-		return nil, err
+	err := parallel.Do(ctx, tasks, popts...)
+	var out *EnsembleVerdict
+	if err == nil {
+		out = e.tally(st, verdicts)
 	}
-	return e.tally(st, verdicts), nil
+	// End the stage before building the event so the span durations the
+	// event serializes are final. This function has a single exit, so End
+	// runs on every path without a defer (which would double-observe).
+	st.End()
+	if rec.Active() {
+		rec.Record(e.detectEvent(sctx, st.Span(), img, in, out, err))
+		if tr != nil {
+			tr.End()
+			obs.Tail().Offer(tr, err)
+		}
+	}
+	return out, err
 }
 
 // DetectLegacy runs every member through its standalone Score/ScoreCtx

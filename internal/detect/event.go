@@ -1,0 +1,94 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"decamouflage/internal/imgcore"
+	"decamouflage/internal/obs"
+)
+
+// nearThresholdFrac is the relative band around a method's decision
+// boundary within which a verdict counts as borderline: the margin the
+// flight recorder tags "near-threshold" so an operator can pull exactly
+// the images an adaptive attacker would aim at.
+const nearThresholdFrac = 0.05
+
+// nearThreshold reports whether score is inside the borderline band. The
+// band is relative to the threshold magnitude with a unit floor so a
+// boundary near zero still has a band; NaN scores compare false.
+func nearThreshold(score float64, th Threshold) bool {
+	band := nearThresholdFrac * math.Max(math.Abs(th.Value), 1)
+	return math.Abs(score-th.Value) <= band
+}
+
+// jsonSafe clamps non-finite scores so a wide event always marshals
+// (JSON has no NaN/Inf); the original verdict is untouched.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(v, -1) {
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// detectEvent denormalizes one finished detection into a wide
+// flight-recorder event: geometry, per-stage latency attribution from the
+// span tree, per-method scores against their boundaries, memo and pool
+// accounting, and anomaly tags (error, deadline, near-threshold).
+func (e *Ensemble) detectEvent(ctx context.Context, sp *obs.Span, img *imgcore.Image,
+	in *Intermediates, out *EnsembleVerdict, err error) obs.Event {
+	ev := obs.Event{
+		TraceID:     obs.TraceID(ctx),
+		Name:        "ensemble.detect",
+		DurNs:       sp.Duration().Nanoseconds(),
+		W:           img.W,
+		H:           img.H,
+		C:           img.C,
+		Stages:      obs.FlattenSpans(sp),
+		MemoHits:    in.hits.Load(),
+		MemoMisses:  in.misses.Load(),
+		PoolBorrows: in.borrows.Load(),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+		ev.Anomalies = append(ev.Anomalies, obs.AnomalyError)
+		if errors.Is(err, context.DeadlineExceeded) {
+			ev.Anomalies = append(ev.Anomalies, obs.AnomalyDeadline)
+		}
+	}
+	if out == nil {
+		return ev
+	}
+	ev.Verdict = "benign"
+	if out.Attack {
+		ev.Verdict = "attack"
+	}
+	ev.Votes = out.Votes
+	ev.Methods = make([]obs.MethodResult, 0, len(out.Verdicts))
+	near := false
+	for i, v := range out.Verdicts {
+		th := e.detectors[i].Threshold()
+		ev.Methods = append(ev.Methods, obs.MethodResult{
+			Method:    v.Method,
+			Score:     jsonSafe(v.Score),
+			Threshold: jsonSafe(th.Value),
+			Direction: th.Direction.String(),
+			Attack:    v.Attack,
+			Margin:    jsonSafe(math.Abs(v.Score - th.Value)),
+		})
+		if nearThreshold(v.Score, th) {
+			near = true
+		}
+	}
+	if near {
+		ev.Anomalies = append(ev.Anomalies, obs.AnomalyNearThreshold)
+	}
+	return ev
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"testing"
 
+	"decamouflage/internal/imgcore"
 	"decamouflage/internal/obs"
+	"decamouflage/internal/scaling"
 )
 
 // benchDetect measures one full three-method ensemble detection. The
@@ -15,6 +17,10 @@ import (
 func benchDetect(b *testing.B) {
 	e := obsTestEnsemble(b)
 	img := obsTestImage(b, 32, 32)
+	benchDetectWith(b, e, img)
+}
+
+func benchDetectWith(b *testing.B, e *Ensemble, img *imgcore.Image) {
 	ctx := context.Background()
 	// Warm the coefficient and plan caches so the loop measures the
 	// steady-state hot path, not one-time setup.
@@ -38,4 +44,51 @@ func BenchmarkDetectInstrumented(b *testing.B) {
 	obs.Enable()
 	b.Cleanup(obs.Disable)
 	benchDetect(b)
+}
+
+// BenchmarkDetectRecorder measures the fully loaded observability stack:
+// metrics on, flight recorder writing a wide event per image, every
+// finished trace offered to the tail sampler, watchdog ticking in the
+// background. CI runs it against the same benchmark compiled with -tags
+// noobs (where every obs call is a no-op, so the benchmark degenerates
+// to the bare pipeline) via cmd/benchguard and fails the build when the
+// full-stack cost exceeds 2%.
+//
+// Unlike the Disabled/Instrumented pair, this benchmark runs at the
+// system's default deployment geometry (128x128 inputs scaled to 32x32,
+// the cmd defaults and the paper's setup). Recording is a flat per-image
+// cost — materializing the span tree and denormalizing it into one event
+// is ~7us regardless of pixel count (obs.BenchmarkRecordPath pins it in
+// isolation) — so the meaningful question is what that costs against a
+// real detection, not against the 32x32 microbenchmark the
+// nanosecond-tight disabled-path gate uses, where the whole detection
+// itself is only ~200us.
+func BenchmarkDetectRecorder(b *testing.B) {
+	obs.Enable()
+	b.Cleanup(obs.Disable)
+	rec := obs.NewRecorder(1024)
+	obs.SetRecorder(rec)
+	b.Cleanup(func() { obs.SetRecorder(nil) })
+	ts := obs.NewTailSampler(64, 0.1)
+	obs.SetTailSampler(ts)
+	b.Cleanup(func() { obs.SetTailSampler(nil) })
+	// The watchdog runs at its default 1s interval, the deployment
+	// configuration. Each tick costs a runtime.ReadMemStats stop-the-world,
+	// so an artificially hot interval would charge the benchmark a
+	// time-proportional tax no production setup pays.
+	w := obs.StartWatchdog(obs.WatchdogConfig{})
+	b.Cleanup(w.Stop)
+	scaler, err := scaling.NewScaler(128, 128, 32, 32, scaling.Options{Algorithm: scaling.Bilinear})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewDefaultEnsemble(DefaultConfig{
+		Scaler:             scaler,
+		ScalingThreshold:   Threshold{Value: 100, Direction: Above},
+		FilteringThreshold: Threshold{Value: 0.5, Direction: Below},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetectWith(b, e, obsTestImage(b, 128, 128))
 }

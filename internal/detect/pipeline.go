@@ -191,7 +191,10 @@ type Intermediates struct {
 
 	// hits/misses mirror the pipe.memo obs counters but always count, so
 	// tests can pin exactly-once computation under -tags noobs too.
-	hits, misses atomic.Int64
+	// borrows counts pooled buffers handed to this request (one per
+	// registered release), the pool-custody figure the flight recorder
+	// reports per image.
+	hits, misses, borrows atomic.Int64
 
 	relMu    sync.Mutex
 	released []func()
@@ -228,6 +231,7 @@ func (in *Intermediates) memo(key stageKey, compute func() (any, error)) (any, e
 //
 //declint:transfers
 func (in *Intermediates) deferRelease(f func()) {
+	in.borrows.Add(1)
 	in.relMu.Lock()
 	in.released = append(in.released, poolTraceWrap(f))
 	in.relMu.Unlock()

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -80,6 +81,15 @@ var latencyBoundsNs = [...]int64{
 // numBuckets includes the +Inf overflow bucket.
 const numBuckets = len(latencyBoundsNs) + 1
 
+// bucketLe renders bucket i's upper bound in seconds, the form Prometheus
+// le labels use ("+Inf" for the overflow bucket).
+func bucketLe(i int) string {
+	if i >= len(latencyBoundsNs) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(float64(latencyBoundsNs[i])/1e9, 'g', -1, 64)
+}
+
 // Histogram is a fixed-bucket latency histogram. Observe is lock-free:
 // one atomic add into the bucket, plus count and sum. Quantiles are
 // estimated by linear interpolation inside the winning bucket, which is
@@ -89,6 +99,41 @@ type Histogram struct {
 	buckets [numBuckets]atomic.Int64
 	count   atomic.Int64
 	sumNs   atomic.Int64
+	// exemplars holds, per bucket, the most recent extreme observation's
+	// trace link (nil until a traced observation lands there).
+	exemplars [numBuckets]atomic.Pointer[exemplar]
+}
+
+// exemplar is the stored form of one bucket's trace link.
+type exemplar struct {
+	valNs   int64
+	unixNs  int64
+	traceID string
+}
+
+// Exemplar is the exported snapshot of one histogram bucket's trace link:
+// the trace that produced the bucket's most recent extreme observation
+// (OpenMetrics-style), so a latency spike in exposition resolves directly
+// to a retained trace and flight-recorder event.
+type Exemplar struct {
+	// BucketLe is the bucket's upper bound in seconds as rendered in
+	// Prometheus exposition ("0.005", "+Inf").
+	BucketLe string  `json:"bucket_le"`
+	ValueMs  float64 `json:"value_ms"`
+	TraceID  string  `json:"trace_id"`
+	UnixNs   int64   `json:"unix_ns"`
+}
+
+// observe records ns into the histogram and returns the bucket index.
+func (h *Histogram) observe(ns int64) int {
+	i := 0
+	for i < len(latencyBoundsNs) && ns > latencyBoundsNs[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	return i
 }
 
 // Observe records one duration.
@@ -100,13 +145,50 @@ func (h *Histogram) Observe(d time.Duration) {
 	if ns < 0 {
 		ns = 0
 	}
-	i := 0
-	for i < len(latencyBoundsNs) && ns > latencyBoundsNs[i] {
-		i++
+	h.observe(ns)
+}
+
+// ObserveTraced records one duration and, when traceID is non-empty and
+// the observation ties or beats its bucket's stored extreme, pins it as
+// that bucket's exemplar ("most recent extreme": later observations win
+// ties, so the exemplar tracks the freshest worst case).
+func (h *Histogram) ObserveTraced(d time.Duration, traceID string) {
+	if compiledOut || h == nil || !enabled.Load() {
+		return
 	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(ns)
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := h.observe(ns)
+	if traceID == "" {
+		return
+	}
+	if cur := h.exemplars[i].Load(); cur == nil || ns >= cur.valNs {
+		h.exemplars[i].Store(&exemplar{valNs: ns, unixNs: time.Now().UnixNano(), traceID: traceID})
+	}
+}
+
+// Exemplars returns the pinned exemplars, one per bucket that has any,
+// in bucket order.
+func (h *Histogram) Exemplars() []Exemplar {
+	if compiledOut || h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		out = append(out, Exemplar{
+			BucketLe: bucketLe(i),
+			ValueMs:  float64(e.valNs) / 1e6,
+			TraceID:  e.traceID,
+			UnixNs:   e.unixNs,
+		})
+	}
+	return out
 }
 
 // ObserveSince records the time elapsed since start, skipping zero starts

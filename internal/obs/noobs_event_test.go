@@ -1,0 +1,81 @@
+//go:build noobs
+
+package obs
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestNoobsStubsReturnNil pins the compiled-out surface of the v2
+// observability layer: every constructor returns nil, every global
+// accessor returns an inactive no-op receiver, and Apply/Close still work.
+func TestNoobsStubsReturnNil(t *testing.T) {
+	if r := NewRecorder(16); r != nil {
+		t.Fatal("NewRecorder != nil under noobs")
+	}
+	if s := NewTailSampler(16, 1); s != nil {
+		t.Fatal("NewTailSampler != nil under noobs")
+	}
+	if w := StartWatchdog(WatchdogConfig{}); w != nil {
+		t.Fatal("StartWatchdog != nil under noobs")
+	}
+	SetRecorder(NewRecorder(1))
+	if Events().Active() {
+		t.Fatal("Events().Active() under noobs")
+	}
+	SetTailSampler(NewTailSampler(1, 1))
+	if Tail().Active() {
+		t.Fatal("Tail().Active() under noobs")
+	}
+	ctx, tr := WithTrace(context.Background(), "req")
+	if tr != nil {
+		t.Fatal("WithTrace returned a trace under noobs")
+	}
+	if id := TraceID(ctx); id != "" {
+		t.Fatalf("TraceID = %q under noobs", id)
+	}
+	if fs := FlattenSpans(tr.Root()); fs != nil {
+		t.Fatal("FlattenSpans returned spans under noobs")
+	}
+	sess, err := Settings{EventsOut: "-", TraceKeep: 4, Watchdog: true}.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Recorder() != nil || sess.Tail() != nil {
+		t.Fatal("session installed components under noobs")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoobsEventPathAllocsNothing is the compile-out guarantee in numbers:
+// the entire per-image recording path — guard, record, trace inspection,
+// tail offer — must not allocate a single byte when observability is
+// compiled out.
+func TestNoobsEventPathAllocsNothing(t *testing.T) {
+	rec := Events()
+	tail := Tail()
+	ctx := context.Background()
+	ev := Event{Name: "detect", DurNs: int64(time.Millisecond)}
+	allocs := testing.AllocsPerRun(100, func() {
+		if rec.Active() {
+			rec.Record(ev)
+		}
+		if id := TraceID(ctx); id != "" {
+			panic("traced under noobs")
+		}
+		tail.Offer(nil, nil)
+		var h *Histogram
+		h.ObserveTraced(time.Millisecond, "")
+	})
+	if allocs != 0 {
+		t.Fatalf("noobs event path allocates %v per run, want 0", allocs)
+	}
+	if err := rec.WriteNDJSON(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

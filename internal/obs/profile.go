@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -82,6 +83,8 @@ func (d *DebugServer) Close() error {
 //	/healthz          liveness probe ("ok")
 //	/metrics          default registry, Prometheus text format
 //	/metrics.json     default registry, JSON snapshot
+//	/debug/events     flight-recorder events, NDJSON (?trace=ID filters)
+//	/debug/traces     retained traces, NDJSON (?id=ID filters)
 //	/debug/vars       expvar (includes decamouflage.metrics)
 //	/debug/pprof/...  net/http/pprof profiles
 //
@@ -106,6 +109,50 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := Default.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		rec := Events()
+		if !rec.Active() {
+			http.Error(w, "no flight recorder installed", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if id := r.URL.Query().Get("trace"); id != "" {
+			ev, ok := rec.Find(id)
+			if !ok {
+				http.Error(w, "no event for trace "+id, http.StatusNotFound)
+				return
+			}
+			if err := json.NewEncoder(w).Encode(&ev); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		if err := rec.WriteNDJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		ts := Tail()
+		if !ts.Active() {
+			http.Error(w, "no tail sampler installed", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if id := r.URL.Query().Get("id"); id != "" {
+			rt, ok := ts.Find(id)
+			if !ok {
+				http.Error(w, "no retained trace "+id, http.StatusNotFound)
+				return
+			}
+			if err := json.NewEncoder(w).Encode(&rt); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		if err := ts.WriteNDJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

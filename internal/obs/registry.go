@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -20,6 +20,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -28,7 +29,19 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
 	}
+}
+
+// SetHelp attaches help text to a metric name, emitted as a # HELP line in
+// Prometheus exposition (with exposition-format escaping applied).
+func (r *Registry) SetHelp(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
 }
 
 // Default is the process-wide registry every instrumented package records
@@ -107,6 +120,9 @@ type HistogramSnapshot struct {
 	P50Ms  float64 `json:"p50_ms"`
 	P95Ms  float64 `json:"p95_ms"`
 	P99Ms  float64 `json:"p99_ms"`
+	// Exemplars links extreme observations to their trace IDs, one per
+	// bucket that has seen a traced observation.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry.
@@ -140,12 +156,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = HistogramSnapshot{
-			Count:  h.Count(),
-			SumMs:  ms(int64(h.Sum())),
-			MeanMs: ms(int64(h.Mean())),
-			P50Ms:  ms(int64(h.Quantile(0.50))),
-			P95Ms:  ms(int64(h.Quantile(0.95))),
-			P99Ms:  ms(int64(h.Quantile(0.99))),
+			Count:     h.Count(),
+			SumMs:     ms(int64(h.Sum())),
+			MeanMs:    ms(int64(h.Mean())),
+			P50Ms:     ms(int64(h.Quantile(0.50))),
+			P95Ms:     ms(int64(h.Quantile(0.95))),
+			P99Ms:     ms(int64(h.Quantile(0.99))),
+			Exemplars: h.Exemplars(),
 		}
 	}
 	return s
@@ -182,10 +199,37 @@ func promName(name string) string {
 	return string(out)
 }
 
+// escapeLabel escapes a label value for the Prometheus text exposition
+// format: backslash, double-quote and newline, in that order, per the
+// exposition-format spec.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes # HELP text: backslash and newline only (quotes are
+// legal in help text, unlike in label values).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// writeExemplar appends an OpenMetrics exemplar to a bucket line:
+//
+//	name_bucket{le="0.005"} 42 # {trace_id="a1b2-7"} 0.0049 1712345678.123
+func writeExemplar(w io.Writer, e Exemplar) error {
+	_, err := fmt.Fprintf(w, " # {trace_id=\"%s\"} %g %.3f",
+		escapeLabel(e.TraceID), e.ValueMs/1e3, float64(e.UnixNs)/1e9)
+	return err
+}
+
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single samples,
 // histograms as cumulative _bucket/_sum/_count families with le labels in
-// seconds.
+// seconds. Buckets that pinned an exemplar carry it in OpenMetrics
+// `# {trace_id="..."}` syntax; label values and HELP text are escaped per
+// the exposition-format spec.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -194,7 +238,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		counters map[string]*Counter
 		gauges   map[string]*Gauge
 		hists    map[string]*Histogram
-	}{map[string]*Counter{}, map[string]*Gauge{}, map[string]*Histogram{}}
+		help     map[string]string
+	}{map[string]*Counter{}, map[string]*Gauge{}, map[string]*Histogram{}, map[string]string{}}
 	r.mu.Lock()
 	for k, v := range r.counters {
 		snap.counters[k] = v
@@ -205,35 +250,63 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k, v := range r.hists {
 		snap.hists[k] = v
 	}
+	for k, v := range r.help {
+		snap.help[k] = v
+	}
 	r.mu.Unlock()
 
-	for _, name := range sortedKeys(snap.counters) {
+	header := func(name, kind string) error {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.counters[name].Value()); err != nil {
+		if help, ok := snap.help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", pn, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, kind)
+		return err
+	}
+	for _, name := range sortedKeys(snap.counters) {
+		if err := header(name, "counter"); err != nil {
+			return err
+		}
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "%s %d\n", pn, snap.counters[name].Value()); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(snap.gauges) {
+		if err := header(name, "gauge"); err != nil {
+			return err
+		}
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.gauges[name].Value()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", pn, snap.gauges[name].Value()); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(snap.hists) {
 		h := snap.hists[name]
-		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		if err := header(name, "histogram"); err != nil {
 			return err
 		}
+		pn := promName(name)
 		counts := h.bucketCounts()
+		exemplars := map[string]Exemplar{}
+		for _, e := range h.Exemplars() {
+			exemplars[e.BucketLe] = e
+		}
 		var cum int64
 		for i, n := range counts {
 			cum += n
-			le := "+Inf"
-			if i < len(latencyBoundsNs) {
-				le = strconv.FormatFloat(float64(latencyBoundsNs[i])/1e9, 'g', -1, 64)
+			le := bucketLe(i)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d", pn, escapeLabel(le), cum); err != nil {
+				return err
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+			if e, ok := exemplars[le]; ok {
+				if err := writeExemplar(w, e); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
 		}

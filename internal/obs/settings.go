@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 )
 
 // Settings is the serializable observability configuration shared by the
@@ -18,20 +19,68 @@ type Settings struct {
 	MetricsOut string `json:"metrics_out,omitempty"`
 	// MetricsFormat selects the dump format: "json" (default) or "prom".
 	MetricsFormat string `json:"metrics_format,omitempty"`
-	// DebugAddr, when non-empty, serves /healthz, /metrics and
-	// /debug/pprof on this address for the life of the session.
+	// DebugAddr, when non-empty, serves /healthz, /metrics,
+	// /debug/events, /debug/traces and /debug/pprof on this address for
+	// the life of the session.
 	DebugAddr string `json:"debug_addr,omitempty"`
 	// CPUProfile and MemProfile are pprof output paths.
 	CPUProfile string `json:"cpuprofile,omitempty"`
 	MemProfile string `json:"memprofile,omitempty"`
+
+	// EventsOut, when non-empty, installs a flight recorder and dumps its
+	// retained wide events as NDJSON on Close: a file path, or "-" for
+	// stdout.
+	EventsOut string `json:"events_out,omitempty"`
+	// EventBuffer sizes the flight-recorder ring (default 1024). A
+	// positive value installs a recorder even without EventsOut (events
+	// then reachable via /debug/events).
+	EventBuffer int `json:"event_buffer,omitempty"`
+	// TraceKeep sizes the tail-sampler ring (default 64 when TraceOut or
+	// TraceSample ask for retention). A positive value installs the
+	// sampler.
+	TraceKeep int `json:"trace_keep,omitempty"`
+	// TraceOut, when non-empty, dumps the retained traces as NDJSON on
+	// Close ("-" for stdout) and installs the sampler.
+	TraceOut string `json:"trace_out,omitempty"`
+	// TraceSample is the probability in [0,1] of retaining an otherwise
+	// unremarkable trace (errored, record and adaptively slow traces are
+	// always kept).
+	TraceSample float64 `json:"trace_sample,omitempty"`
+	// Watchdog starts the runtime watchdog for the session.
+	Watchdog bool `json:"watchdog,omitempty"`
+	// WatchdogIntervalMs overrides the watchdog sampling interval
+	// (default 1000).
+	WatchdogIntervalMs int `json:"watchdog_interval_ms,omitempty"`
 }
 
 // Session is the running state created by Settings.Apply. Close stops
-// profiling, writes any requested dumps, and shuts the debug server down.
+// profiling and the watchdog, writes any requested dumps, uninstalls the
+// recorder/sampler it installed, and shuts the debug server down.
 type Session struct {
 	settings Settings
 	stopCPU  func() error
 	server   *DebugServer
+	recorder *Recorder
+	tail     *TailSampler
+	watchdog *Watchdog
+}
+
+// Recorder returns the flight recorder this session installed (nil when
+// events were not requested).
+func (s *Session) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.recorder
+}
+
+// Tail returns the tail sampler this session installed (nil when trace
+// retention was not requested).
+func (s *Session) Tail() *TailSampler {
+	if s == nil {
+		return nil
+	}
+	return s.tail
 }
 
 // DebugAddr returns the bound debug-server address, or "" if none was
@@ -49,8 +98,22 @@ func (s *Session) DebugAddr() string {
 // can unconditionally defer it.
 func (s Settings) Apply() (*Session, error) {
 	sess := &Session{settings: s}
-	if s.Metrics || s.MetricsOut != "" || s.DebugAddr != "" {
+	if s.Metrics || s.MetricsOut != "" || s.DebugAddr != "" ||
+		s.wantRecorder() || s.wantTail() || s.Watchdog {
 		Enable()
+	}
+	if s.wantRecorder() {
+		sess.recorder = NewRecorder(s.EventBuffer)
+		SetRecorder(sess.recorder)
+	}
+	if s.wantTail() {
+		sess.tail = NewTailSampler(s.TraceKeep, s.TraceSample)
+		SetTailSampler(sess.tail)
+	}
+	if s.Watchdog {
+		sess.watchdog = StartWatchdog(WatchdogConfig{
+			Interval: time.Duration(s.WatchdogIntervalMs) * time.Millisecond,
+		})
 	}
 	if s.CPUProfile != "" {
 		stop, err := StartCPUProfile(s.CPUProfile)
@@ -70,6 +133,30 @@ func (s Settings) Apply() (*Session, error) {
 		sess.server = srv
 	}
 	return sess, nil
+}
+
+// wantRecorder reports whether the settings ask for a flight recorder.
+func (s Settings) wantRecorder() bool { return s.EventsOut != "" || s.EventBuffer > 0 }
+
+// wantTail reports whether the settings ask for trace retention.
+func (s Settings) wantTail() bool {
+	return s.TraceKeep > 0 || s.TraceOut != "" || s.TraceSample > 0
+}
+
+// dumpNDJSON writes one NDJSON dump to dst ("-" or "" for stdout).
+func dumpNDJSON(dst, what string, write func(io.Writer) error) error {
+	if dst == "" || dst == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return fmt.Errorf("obs: create %s dump: %w", what, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics dumps the default registry to w in the configured format.
@@ -101,9 +188,10 @@ func (s Settings) DumpMetrics(dst string) error {
 	return f.Close()
 }
 
-// Close finishes the session: stops CPU profiling, writes the heap
-// profile and metrics dump if requested, and closes the debug server.
-// The first error wins but every step runs.
+// Close finishes the session: stops the watchdog and CPU profiling,
+// writes the heap profile and the metrics/events/traces dumps if
+// requested, uninstalls the recorder and sampler it installed, and closes
+// the debug server. The first error wins but every step runs.
 func (s *Session) Close() error {
 	if s == nil {
 		return nil
@@ -114,12 +202,25 @@ func (s *Session) Close() error {
 			first = err
 		}
 	}
+	s.watchdog.Stop()
 	if s.stopCPU != nil {
 		keep(s.stopCPU())
 	}
 	keep(WriteHeapProfile(s.settings.MemProfile))
 	if s.settings.MetricsOut != "" {
 		keep(s.settings.DumpMetrics(s.settings.MetricsOut))
+	}
+	if s.settings.EventsOut != "" {
+		keep(dumpNDJSON(s.settings.EventsOut, "events", s.recorder.WriteNDJSON))
+	}
+	if s.settings.TraceOut != "" {
+		keep(dumpNDJSON(s.settings.TraceOut, "traces", s.tail.WriteNDJSON))
+	}
+	if s.recorder != nil && Events() == s.recorder {
+		SetRecorder(nil)
+	}
+	if s.tail != nil && Tail() == s.tail {
+		SetTailSampler(nil)
 	}
 	keep(s.server.Close())
 	return first

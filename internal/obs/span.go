@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,12 +26,134 @@ type Attr struct {
 type Span struct {
 	name  string
 	start time.Time
+	// tid is the owning trace's ID, copied root-to-leaf at creation so any
+	// span (and anything observing through it, like histogram exemplars)
+	// can name its trace without walking parents.
+	tid string
+	// arena is the owning trace's span storage, copied root-to-leaf like
+	// tid so descendants allocate from the same block.
+	arena *spanArena
+	// parent is the context this span was started under. The span itself
+	// implements context.Context by delegating to it, so StartSpan can
+	// return the arena-allocated span as the derived context instead of
+	// paying a context.WithValue allocation per span.
+	parent context.Context
 
 	mu       sync.Mutex
 	dur      time.Duration
 	ended    bool
 	attrs    []Attr
 	children []*Span
+}
+
+// Span is a context.Context: it carries itself as the active span and
+// delegates everything else to the context it was started under. The
+// accessors tolerate a nil parent (a zero or recycled span) so stale
+// handles degrade to an inert background-like context instead of
+// panicking.
+
+// Deadline implements context.Context.
+func (s *Span) Deadline() (deadline time.Time, ok bool) {
+	if s == nil || s.parent == nil {
+		return time.Time{}, false
+	}
+	return s.parent.Deadline()
+}
+
+// Done implements context.Context.
+func (s *Span) Done() <-chan struct{} {
+	if s == nil || s.parent == nil {
+		return nil
+	}
+	return s.parent.Done()
+}
+
+// Err implements context.Context.
+func (s *Span) Err() error {
+	if s == nil || s.parent == nil {
+		return nil
+	}
+	return s.parent.Err()
+}
+
+// Value implements context.Context: the span key resolves to the span
+// itself, everything else walks up the parent chain.
+func (s *Span) Value(key any) any {
+	if s == nil {
+		return nil
+	}
+	if _, ok := key.(spanKey); ok {
+		return s
+	}
+	if s.parent == nil {
+		return nil
+	}
+	return s.parent.Value(key)
+}
+
+// arenaSpans sizes a trace's span arena. A fully traced ensemble detect
+// materializes ~14 spans (root, stage root, three method spans, their
+// pipeline stages); deeper trees spill individual spans to the heap.
+const arenaSpans = 24
+
+// spanArena is one trace's span storage: a fixed block so a trace costs
+// one allocation instead of one per span, recycled through arenaPool when
+// the tail sampler finishes with the trace. The block never grows —
+// growing would move spans out from under live *Span pointers (and copy
+// their mutexes); overflow spans come from the heap instead.
+type spanArena struct {
+	mu  sync.Mutex
+	n   int
+	buf [arenaSpans]Span
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(spanArena) }}
+
+// take hands out the next arena slot, falling back to the heap when the
+// block is exhausted. The returned span is zeroed apart from recycled
+// attrs/children capacity.
+func (a *spanArena) take() *Span {
+	a.mu.Lock()
+	if a.n < arenaSpans {
+		s := &a.buf[a.n]
+		a.n++
+		a.mu.Unlock()
+		return s
+	}
+	a.mu.Unlock()
+	return new(Span)
+}
+
+// reset clears every handed-out slot for reuse, keeping the attrs and
+// children backing arrays (their contents are cleared so recycled slots
+// hold no stale pointers).
+func (a *spanArena) reset() {
+	for i := 0; i < a.n; i++ {
+		s := &a.buf[i]
+		clear(s.attrs)
+		clear(s.children)
+		*s = Span{attrs: s.attrs[:0], children: s.children[:0]}
+	}
+	a.n = 0
+}
+
+// traceSeq numbers traces within the process; traceStamp distinguishes
+// processes, so IDs from overlapping runs do not collide in a shared log.
+var (
+	traceSeq   atomic.Uint64
+	traceStamp = func() string {
+		// splitmix64-style mixing of the start time, truncated: the stamp
+		// only needs to differ between processes, not be unguessable.
+		z := uint64(time.Now().UnixNano())
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return strconv.FormatUint((z^(z>>31))&0xFFFFFF, 16)
+	}()
+)
+
+// newTraceID returns a process-unique trace ID like "a1b2c3-42".
+func newTraceID() string {
+	return traceStamp + "-" + strconv.FormatUint(traceSeq.Add(1), 10)
 }
 
 // Trace owns the root span of one traced operation (e.g. one image
@@ -48,8 +171,51 @@ func WithTrace(ctx context.Context, name string) (context.Context, *Trace) {
 	if compiledOut {
 		return ctx, nil
 	}
-	s := &Span{name: name, start: time.Now()}
-	return context.WithValue(ctx, spanKey{}, s), &Trace{root: s}
+	a := arenaPool.Get().(*spanArena)
+	s := a.take()
+	//declint:ignore poollife arena recycling is opportunistic, not owned: traces offered to the tail sampler release the arena through Offer's ownership transfer, and caller-owned traces drop it to the GC — the pool's miss path, not a leak
+	s.name, s.start, s.tid, s.arena, s.parent = name, time.Now(), newTraceID(), a, ctx
+	return s, &Trace{root: s}
+}
+
+// ID returns the trace's ID ("" on a nil or released trace).
+func (t *Trace) ID() string {
+	if t == nil || t.root == nil {
+		return ""
+	}
+	return t.root.tid
+}
+
+// release returns the trace's span arena to the pool and detaches the
+// root, so later method calls on the trace are visible no-ops instead of
+// reads of recycled spans. TailSampler.Offer calls this — offering a
+// trace transfers ownership of it and of every span taken from it.
+// Traces whose root was not arena-allocated (tests building Span values
+// by hand) release nothing.
+func (t *Trace) release() {
+	if t == nil || t.root == nil {
+		return
+	}
+	a := t.root.arena
+	t.root = nil
+	if a == nil {
+		return
+	}
+	a.reset()
+	arenaPool.Put(a)
+}
+
+// TraceID returns the ID of the trace active on ctx, or "" when the
+// context is untraced — one context.Value lookup, no allocation.
+func TraceID(ctx context.Context) string {
+	if compiledOut {
+		return ""
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	if sp == nil {
+		return ""
+	}
+	return sp.tid
 }
 
 // Root returns the trace's root span (nil on a nil trace).
@@ -74,11 +240,17 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent == nil {
 		return ctx, nil
 	}
-	s := &Span{name: name, start: time.Now()}
+	var s *Span
+	if parent.arena != nil {
+		s = parent.arena.take()
+	} else {
+		s = new(Span)
+	}
+	s.name, s.start, s.tid, s.arena, s.parent = name, time.Now(), parent.tid, parent.arena, ctx
 	parent.mu.Lock()
 	parent.children = append(parent.children, s)
 	parent.mu.Unlock()
-	return context.WithValue(ctx, spanKey{}, s), s
+	return s, s
 }
 
 // End records the span's duration. The first call wins; later calls are
@@ -236,6 +408,9 @@ type Stage struct {
 	span  *Span
 	hist  *Histogram
 	start time.Time
+	// tid carries the trace ID to End so the histogram observation can
+	// pin an exemplar; empty on untraced stages.
+	tid string
 }
 
 // StartStage begins a stage named name under ctx, recording its duration
@@ -250,6 +425,7 @@ func StartStage(ctx context.Context, name string, h *Histogram) (context.Context
 	switch {
 	case sp != nil:
 		st.start = sp.start
+		st.tid = sp.tid
 	case h != nil && enabled.Load():
 		st.start = time.Now()
 	}
@@ -261,13 +437,14 @@ func StartStage(ctx context.Context, name string, h *Histogram) (context.Context
 func (st Stage) Span() *Span { return st.span }
 
 // End closes the stage: ends the span and records the elapsed time into
-// the histogram (itself gated on the metrics flag).
+// the histogram (itself gated on the metrics flag). Traced stages carry
+// their trace ID into the observation so extreme latencies pin exemplars.
 func (st Stage) End() {
 	if st.start.IsZero() {
 		return
 	}
 	st.span.End()
 	if st.hist != nil {
-		st.hist.Observe(time.Since(st.start))
+		st.hist.ObserveTraced(time.Since(st.start), st.tid)
 	}
 }

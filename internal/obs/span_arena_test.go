@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestSpanArenaRecycling pins the ownership transfer on Offer: the trace
+// detaches, the retained copy survives, and a recycled arena hands out
+// clean spans with no attrs or children leaking from the previous trace.
+func TestSpanArenaRecycling(t *testing.T) {
+	if compiledOut {
+		t.Skip("observability compiled out (noobs)")
+	}
+	s := NewTailSampler(8, 0)
+
+	ctx, tr := WithTrace(context.Background(), "req")
+	_, sp := StartSpan(ctx, "child")
+	sp.AttrString("k", "v")
+	sp.End()
+	tr.End()
+	id := tr.ID()
+
+	if _, kept := s.Offer(tr, nil); !kept {
+		t.Fatal("first trace not kept")
+	}
+	if got := tr.ID(); got != "" {
+		t.Errorf("released trace still has ID %q", got)
+	}
+	rt, ok := s.Find(id)
+	if !ok {
+		t.Fatalf("retained trace %q not found", id)
+	}
+	if len(rt.Spans) != 2 || rt.Spans[1].Attrs["k"] != "v" {
+		t.Errorf("retained copy lost data: %+v", rt.Spans)
+	}
+
+	// A fresh trace (likely on the recycled arena) must start clean.
+	ctx2, tr2 := WithTrace(context.Background(), "req2")
+	_, sp2 := StartSpan(ctx2, "child2")
+	sp2.End()
+	tr2.End()
+	spans := FlattenSpans(tr2.Root())
+	if len(spans) != 2 {
+		t.Fatalf("recycled trace has %d spans, want 2: %+v", len(spans), spans)
+	}
+	for _, sd := range spans {
+		if len(sd.Attrs) != 0 {
+			t.Errorf("recycled span %q carries stale attrs %v", sd.Name, sd.Attrs)
+		}
+	}
+	if spans[0].Name != "req2" || spans[1].Name != "child2" {
+		t.Errorf("recycled trace names wrong: %+v", spans)
+	}
+	s.Offer(tr2, nil)
+}
+
+// TestSpanArenaOverflow drives a trace past the fixed arena size: spans
+// beyond the block spill to the heap but still join the tree, and
+// releasing the trace afterwards is safe.
+func TestSpanArenaOverflow(t *testing.T) {
+	if compiledOut {
+		t.Skip("observability compiled out (noobs)")
+	}
+	ctx, tr := WithTrace(context.Background(), "wide")
+	const n = arenaSpans + 8
+	for i := 0; i < n; i++ {
+		_, sp := StartSpan(ctx, fmt.Sprintf("c%d", i))
+		sp.End()
+	}
+	tr.End()
+	spans := FlattenSpans(tr.Root())
+	if len(spans) != n+1 {
+		t.Fatalf("overflow trace has %d spans, want %d", len(spans), n+1)
+	}
+	for i := 0; i < n; i++ {
+		if want := fmt.Sprintf("c%d", i); spans[i+1].Name != want {
+			t.Fatalf("span %d named %q, want %q", i+1, spans[i+1].Name, want)
+		}
+	}
+	NewTailSampler(4, 0).Offer(tr, nil)
+	if tr.Root() != nil {
+		t.Error("overflow trace not released")
+	}
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ewma tracks an exponential moving average of durations with a warmup
+// count, the adaptive part of both the recorder's "slow" tagging and the
+// tail sampler's retention rule. Not goroutine-safe; owners hold a mutex.
+type ewma struct {
+	n    int64
+	mean float64
+}
+
+// observe folds ns into the average and reports whether this observation
+// is anomalously slow: past warmup, several times the prior mean, and
+// above an absolute floor so microsecond jitter is never tagged.
+func (e *ewma) observe(ns int64) (slow bool) {
+	const (
+		warmup     = 8
+		slowFactor = 3.0
+		floorNs    = 1e6 // 1ms
+	)
+	slow = e.n >= warmup && float64(ns) > slowFactor*e.mean && float64(ns) > floorNs
+	e.n++
+	// Cap the effective window so the mean keeps adapting to drift.
+	w := e.n
+	if w > 64 {
+		w = 64
+	}
+	e.mean += (float64(ns) - e.mean) / float64(w)
+	return slow
+}
+
+// Retention reasons on a RetainedTrace.
+const (
+	// KeepError retains traces of requests that returned an error.
+	KeepError = "error"
+	// KeepRecord retains a new (or near-tied) slowest-so-far request for
+	// its root name — this is what guarantees a top-bucket histogram
+	// exemplar always resolves to a retained trace.
+	KeepRecord = "record"
+	// KeepSlow retains requests above the adaptive per-name threshold.
+	KeepSlow = "slow"
+	// KeepSampled retains a probabilistic sample of ordinary requests.
+	KeepSampled = "sampled"
+)
+
+// RetainedTrace is a finished span tree kept by the tail sampler,
+// serialized so it survives after the live Trace is garbage.
+type RetainedTrace struct {
+	ID     string     `json:"id"`
+	Name   string     `json:"name"`
+	UnixNs int64      `json:"unix_ns"`
+	DurNs  int64      `json:"dur_ns"`
+	Reason string     `json:"reason"`
+	Err    string     `json:"err,omitempty"`
+	Spans  []StageDur `json:"spans"`
+}
+
+// tailStat is the per-root-name retention state.
+type tailStat struct {
+	avg   ewma
+	maxNs int64
+}
+
+// TailSampler decides, once a trace has finished, whether it is worth
+// keeping: errored traces always, a new slowest-per-name record always,
+// adaptively slow traces, and a probabilistic sample of the rest. Kept
+// traces live in a fixed-size ring.
+type TailSampler struct {
+	mu      sync.Mutex
+	ring    *ringBuf[RetainedTrace]
+	stats   map[string]*tailStat
+	sample  float64
+	rng     uint64
+	offered int64
+	kept    int64
+
+	keptC    *Counter
+	offeredC *Counter
+}
+
+// NewTailSampler returns a sampler retaining the last capacity traces
+// (default 64 when capacity <= 0). sample is the probability in [0,1] of
+// keeping an otherwise unremarkable trace. Returns nil under noobs.
+func NewTailSampler(capacity int, sample float64) *TailSampler {
+	if compiledOut {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if sample < 0 {
+		sample = 0
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	return &TailSampler{
+		ring:   newRingBuf[RetainedTrace](capacity),
+		stats:  map[string]*tailStat{},
+		sample: sample,
+		// Seeded from the wall clock: sampling is explicitly
+		// non-deterministic and lives behind the obs barrier.
+		rng:      uint64(time.Now().UnixNano()) | 1,
+		keptC:    C("obs.traces.kept"),
+		offeredC: C("obs.traces.offered"),
+	}
+}
+
+// Active reports whether the sampler is live.
+func (s *TailSampler) Active() bool { return !compiledOut && s != nil }
+
+// rand01 advances a splitmix64 state and returns a float in [0,1). Cheap
+// and lock-free relative to math/rand's global source; called under mu.
+func (s *TailSampler) rand01() float64 {
+	s.rng += 0x9E3779B97F4A7C15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Offer presents a finished trace for retention and returns the reason it
+// was kept, or ("", false) when discarded. The decision order is error,
+// record, slow, sampled; the span tree is serialized only when kept.
+//
+// Offer takes ownership of the trace: whatever the decision (including a
+// nil sampler), the trace's span arena is recycled before returning, and
+// the caller must not touch the trace or any of its spans afterwards. A
+// kept trace survives as the serialized RetainedTrace copy.
+func (s *TailSampler) Offer(t *Trace, err error) (string, bool) {
+	root := t.Root()
+	if !s.Active() || root == nil {
+		t.release()
+		return "", false
+	}
+	defer t.release()
+	ns := root.Duration().Nanoseconds()
+	s.mu.Lock()
+	s.offered++
+	st := s.stats[root.name]
+	if st == nil {
+		st = &tailStat{}
+		s.stats[root.name] = st
+	}
+	slow := st.avg.observe(ns)
+	var reason string
+	switch {
+	case err != nil:
+		reason = KeepError
+	// Keep anything within 1% of the running per-name maximum, not just
+	// strict improvements: histogram exemplars and span durations are two
+	// separate clock reads of the same request, so the nanosecond-level
+	// disagreement between them must not drop the record holder.
+	case float64(ns) >= 0.99*float64(st.maxNs):
+		reason = KeepRecord
+	case slow:
+		reason = KeepSlow
+	case s.sample > 0 && s.rand01() < s.sample:
+		reason = KeepSampled
+	}
+	if ns > st.maxNs {
+		st.maxNs = ns
+	}
+	if reason == "" {
+		s.mu.Unlock()
+		s.offeredC.Inc()
+		return "", false
+	}
+	rt := RetainedTrace{
+		ID:     root.tid,
+		Name:   root.name,
+		UnixNs: root.start.UnixNano(),
+		DurNs:  ns,
+		Reason: reason,
+		Spans:  FlattenSpans(root),
+	}
+	if err != nil {
+		rt.Err = err.Error()
+	}
+	s.ring.push(rt)
+	s.kept++
+	s.mu.Unlock()
+	s.offeredC.Inc()
+	s.keptC.Inc()
+	return reason, true
+}
+
+// Snapshot returns the retained traces, oldest first.
+func (s *TailSampler) Snapshot() []RetainedTrace {
+	if !s.Active() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ring.snapshot()
+}
+
+// Find returns the most recent retained trace with the given ID.
+func (s *TailSampler) Find(id string) (RetainedTrace, bool) {
+	if id != "" {
+		rts := s.Snapshot()
+		for i := len(rts) - 1; i >= 0; i-- {
+			if rts[i].ID == id {
+				return rts[i], true
+			}
+		}
+	}
+	return RetainedTrace{}, false
+}
+
+// Offered returns how many finished traces were presented.
+func (s *TailSampler) Offered() int64 {
+	if !s.Active() {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offered
+}
+
+// Kept returns how many traces were retained.
+func (s *TailSampler) Kept() int64 {
+	if !s.Active() {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kept
+}
+
+// WriteNDJSON dumps the retained traces to w, one JSON object per line.
+func (s *TailSampler) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rt := range s.Snapshot() {
+		if err := enc.Encode(&rt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// currentTail is the process-wide tail sampler, if any.
+var currentTail atomic.Pointer[TailSampler]
+
+// SetTailSampler installs s as the process-wide tail sampler (nil
+// uninstalls).
+func SetTailSampler(s *TailSampler) {
+	if compiledOut {
+		return
+	}
+	currentTail.Store(s)
+}
+
+// Tail returns the installed tail sampler, or nil (a no-op receiver).
+func Tail() *TailSampler {
+	if compiledOut {
+		return nil
+	}
+	return currentTail.Load()
+}
