@@ -78,6 +78,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := analysis.DefaultConfig()
 	if *checksFlag != "" {
 		cfg.Checks = strings.Split(*checksFlag, ",")
+		// Validate names before the (expensive) module load so a typo fails
+		// in milliseconds, with a suggestion when one is close.
+		for _, name := range cfg.Checks {
+			if analysis.KnownCheck(name) {
+				continue
+			}
+			hint := ""
+			if s := closestCheck(name); s != "" {
+				hint = fmt.Sprintf(" (did you mean %q?)", s)
+			}
+			fmt.Fprintf(stderr, "declint: unknown check %q%s; run -list for the inventory\n", name, hint)
+			return 2
+		}
 	}
 	cfg.CacheDir = *cacheFlag
 	// JSON consumers and the waiver inventory see what was waived and why
@@ -186,6 +199,39 @@ func writeWaivers(w io.Writer, all []analysis.Finding) {
 		fmt.Fprintf(w, "| %s | %s:%d | %s |\n",
 			f.Check, relToCwd(f.Pos.Filename), f.Pos.Line, f.Reason)
 	}
+}
+
+// closestCheck returns the registered check name nearest to name by edit
+// distance, or "" when nothing is close enough to be a plausible typo.
+func closestCheck(name string) string {
+	best, bestDist := "", len(name)/2+1
+	for _, c := range analysis.Checks() {
+		if d := editDistance(name, c.Name); d < bestDist {
+			best, bestDist = c.Name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // resolveTarget maps one CLI target to (module root, subtree filter).

@@ -41,6 +41,10 @@ func TestViolatingFixturesExitNonzero(t *testing.T) {
 		{"poollife", "poollife", "pool.go"},
 		{"memopure", "memopure", "stages.go"},
 		{"obscover", "obscover", "stages.go"},
+		{"lockorder", "lockorder", "store.go"},
+		{"golife", "golife", "life.go"},
+		{"chandisc", "chandisc", "pipe.go"},
+		{"deadline", "deadline", "serve.go"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -84,6 +88,22 @@ func TestUnknownCheckFlag(t *testing.T) {
 	}
 }
 
+// TestUnknownCheckSuggestion: a near-miss name earns a did-you-mean hint and
+// fails before the module is even loaded (the target does not exist).
+func TestUnknownCheckSuggestion(t *testing.T) {
+	code, _, stderr := runDeclint(t, "-checks", "lockorders", "no/such/dir")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `did you mean "lockorder"?`) {
+		t.Errorf("stderr lacks the suggestion:\n%s", stderr)
+	}
+	code, _, stderr = runDeclint(t, "-checks", "zzzzzz", "no/such/dir")
+	if code != 2 || strings.Contains(stderr, "did you mean") {
+		t.Errorf("hopeless typo should get no suggestion (code %d):\n%s", code, stderr)
+	}
+}
+
 // TestListFlag pins the -list output exactly: check names are suppression
 // syntax and CI greps this output, so any drift is a deliberate API change.
 func TestListFlag(t *testing.T) {
@@ -105,6 +125,10 @@ func TestListFlag(t *testing.T) {
 		"poollife     pooled buffers not released exactly once on every path",
 		"memopure     memoized stage closures that are not pure functions of their key",
 		"obscover     pipeline stages, caches or event emitters missing obs instrumentation",
+		"lockorder    lock-order cycles, double-locks, and blocking calls under a held mutex",
+		"golife       goroutines without a provable termination signal and join",
+		"chandisc     unguarded ctx-path sends, timer leaks, send-after-close, magic buffers",
+		"deadline     ctx-less exported entry points reaching unbounded blocking operations",
 		"",
 	}, "\n")
 	if stdout != want {

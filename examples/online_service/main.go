@@ -127,6 +127,9 @@ func buildEnsemble() (*decamouflage.Ensemble, *decamouflage.Scaler, error) {
 	return ens, scaler, nil
 }
 
+// main wires the detector behind an HTTP endpoint and exercises it once.
+//
+//declint:spawns one http.Serve loop for the demo listener; process exit (end of main) reaps it
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("online-service: ")

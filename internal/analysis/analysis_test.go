@@ -47,10 +47,17 @@ func TestGoldenFindings(t *testing.T) {
 		{
 			fixture: "norawgo",
 			want: []string{
+				"internal/parallel/parallel.go:12 golife", // Do: wg-joined, but no spawns directive
+				"internal/report/suppressed.go:8 golife",  // Serve: opaque callee, no directive...
+				"internal/report/suppressed.go:8 golife",  // ...and no provable termination
+				"internal/report/suppressed.go:13 golife", // ServeTrailing: same pair
+				"internal/report/suppressed.go:13 golife",
 				"internal/scaling/pool.go:9 noraw-go",  // sync.WaitGroup pool
+				"internal/scaling/pool.go:13 golife",   // Sum: joined fan-out, no spawns directive
 				"internal/scaling/pool.go:13 noraw-go", // raw go statement
-				// internal/parallel is exempt; suppressed.go is annotated;
-				// pool_test.go is a test file.
+				// internal/parallel is exempt from noraw-go but not from golife;
+				// the noraw-go suppressions in suppressed.go silence only that
+				// check. pool_test.go is a test file.
 			},
 		},
 		{
@@ -157,6 +164,7 @@ func TestGoldenFindings(t *testing.T) {
 				"internal/bufpool/pool.go:111 poollife",  // fabricate: owns claim unbacked
 				"internal/bufpool/pool.go:116 poollife",  // vanish: transfers claim unbacked
 				"internal/bufpool/pool.go:120 poollife",  // overclaim: result index out of range
+				"internal/parallel/spawn.go:13 golife",   // Spawn: goroutine, no spawns directive
 				"internal/parallel/spawn.go:13 poollife", // Spawn: goroutine capture
 				// Clean, NilGuarded, and ErrPath release on every path: silent.
 			},
@@ -190,6 +198,48 @@ func TestGoldenFindings(t *testing.T) {
 				"internal/detect/emit.go:23 obscover", // Late: span opened after the event
 				// Traced is covered; Waived is annotated; the obs package's
 				// own watchdog emitter is exempt.
+			},
+		},
+		{
+			fixture: "lockorder",
+			want: []string{
+				"internal/store/audit.go:31 lockorder", // UnderB: undeclared muB -> muA edge
+				"internal/store/audit.go:37 lockorder", // Idle: unbacked locks-after claim
+				"internal/store/store.go:28 lockorder", // BA: closes the muA/muB cycle
+				"internal/store/store.go:51 lockorder", // Grow -> Size reacquires mu
+				"internal/store/store.go:58 lockorder", // Nap: time.Sleep under mu
+				"internal/store/store.go:63 lockorder", // Drop: unlock without a lock
+				// AB alone is clean; UnderA's cross-function edge is declared
+				// with locks-after on lockB.
+			},
+		},
+		{
+			fixture: "golife",
+			want: []string{
+				"internal/parallel/life.go:12 golife", // Leaky: no termination signal
+				"internal/parallel/life.go:29 golife", // StartPump: stop closed, never joined
+				"internal/parallel/life.go:47 golife", // Fire: no spawns directive
+				"internal/parallel/life.go:55 golife", // Calm: unbacked spawns claim
+				// StartTicker/Stop is the clean stop+done join shape: silent.
+			},
+		},
+		{
+			fixture: "chandisc",
+			want: []string{
+				"internal/pipe/pipe.go:21 chandisc", // Push: ctx-path send, no Done guard
+				"internal/pipe/pipe.go:44 chandisc", // Poll: time.After in a loop
+				"internal/pipe/pipe.go:54 chandisc", // Flush: send after close
+				"internal/pipe/pipe.go:60 chandisc", // Feed: magic capacity 64
+				// PushGuarded selects on ctx.Done; FeedSized names its capacity.
+			},
+		},
+		{
+			fixture: "deadline",
+			want: []string{
+				"internal/obs/serve.go:13 deadline", // Wait: raw channel receive
+				"internal/obs/serve.go:18 deadline", // Settle: direct time.Sleep
+				"internal/obs/serve.go:23 deadline", // Converge: Sleep via helper chain
+				// WaitCtx threads ctx; the unexported helpers are not roots.
 			},
 		},
 		{
@@ -248,6 +298,7 @@ func TestRegistry(t *testing.T) {
 		"noraw-go", "determinism", "floateq", "naninput", "errdrop", "obsonly",
 		"parsafe", "hotalloc", "detprop", "ctxflow",
 		"poollife", "memopure", "obscover",
+		"lockorder", "golife", "chandisc", "deadline",
 	}
 	checks := Checks()
 	if len(checks) != len(want) {

@@ -14,7 +14,7 @@ import (
 
 // summarySchema versions the on-disk summary format; bump it whenever
 // FuncEffects or the effects pass changes so stale caches self-invalidate.
-const summarySchema = 2
+const summarySchema = 3
 
 // PkgSummary is the cached unit: every function summary of one package,
 // keyed on disk by the package's transitive content hash.

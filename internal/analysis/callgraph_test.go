@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"io/fs"
 	"os"
@@ -142,6 +143,58 @@ func TestCacheIgnoresCorruptEntries(t *testing.T) {
 	if !reflect.DeepEqual(cold, again) {
 		t.Errorf("corrupt cache changed findings\ncold:\n  %s\ngot:\n  %s",
 			strings.Join(cold, "\n  "), strings.Join(again, "\n  "))
+	}
+}
+
+// TestCacheIgnoresStaleSchemaEntries: a well-formed summary written under a
+// previous schema version (here 2, pre-concurrency) must be recomputed, not
+// trusted — its FuncEffects lack the lock/spawn/channel fields the v4
+// checks consume. Each cache entry is rewritten in place as a plausible
+// schema-2 file with no function summaries; trusting it would erase every
+// lockorder finding on the warm run.
+func TestCacheIgnoresStaleSchemaEntries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheDir = t.TempDir()
+	cold := loadFixture(t, "lockorder", cfg)
+	if len(cold) == 0 {
+		t.Fatal("cold run produced no findings; fixture or checks are broken")
+	}
+	entries, err := os.ReadDir(cfg.CacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		p := filepath.Join(cfg.CacheDir, e.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s PkgSummary
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Fatal(err)
+		}
+		s.Schema = 2
+		s.Funcs = nil
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stale++
+	}
+	if stale == 0 {
+		t.Fatal("cold run wrote no summary files to stale-ify")
+	}
+	warm := loadFixture(t, "lockorder", cfg)
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("stale schema-2 cache changed findings\ncold:\n  %s\nwarm:\n  %s",
+			strings.Join(cold, "\n  "), strings.Join(warm, "\n  "))
 	}
 }
 

@@ -1,0 +1,861 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the effects-pass half of the concurrency-protocol layer: a
+// path-sensitive walk over each function body that records mutex
+// acquire/release protocol (including defer pairing and RWMutex modes),
+// channel operations with their guard context, go statements with their
+// termination signals, and the held-lock set at every call site. The four
+// checks in concurrency_checks.go consume only these cached facts plus the
+// call graph, so warm runs never re-walk bodies.
+
+// syncMethod resolves a call to a sync primitive method and returns its
+// qualified name ("Mutex.Lock", "RWMutex.RLock", "WaitGroup.Wait", ...)
+// plus the receiver expression. Embedded mutexes resolve too: the method
+// object still belongs to sync even when the receiver is the embedding
+// struct.
+func syncMethod(info *types.Info, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", nil
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	id := funcIDOf(fn) // "sync.(Mutex).Lock"
+	rest, ok := strings.CutPrefix(id, "sync.(")
+	if !ok {
+		return "", nil
+	}
+	return strings.Replace(rest, ").", ".", 1), sel.X
+}
+
+// concObjectID renders the stable identity of a mutex or channel
+// expression: "pkgpath.Type.field" for a struct field, "pkgpath.name" for
+// a package-level variable, "local:name" for locals, "" when the
+// expression is too dynamic to name. Field identities are what the
+// //declint:locks-after grammar names (suffix-matched).
+func concObjectID(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return "local:" + v.Name()
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if n, ok := recv.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + x.Sel.Name
+			}
+			return ""
+		}
+		if pn := pkgNameOf(info, x.X); pn != nil {
+			return pn.Imported().Path() + "." + x.Sel.Name
+		}
+		return ""
+	case *ast.StarExpr:
+		return concObjectID(info, x.X)
+	}
+	return ""
+}
+
+// structPrefixOf returns the "pkgpath.Type." prefix of a field identity, or
+// "" for non-field identities — the scope within which a close(stop) makes
+// a later <-done a join rather than an unbounded block.
+func structPrefixOf(id string) string {
+	i := strings.LastIndex(id, ".")
+	if i < 0 || strings.HasPrefix(id, "local:") {
+		return ""
+	}
+	if strings.LastIndex(id[:i], ".") < 0 {
+		return "" // "pkg.var": package-level, no struct scope
+	}
+	return id[:i+1]
+}
+
+// ctxDoneExpr reports whether e is ctx.Done() — the one wait that counts as
+// a goroutine termination signal (golife). Timers fire forever (tickers) or
+// once per loop turn, so they bound a single wait but never terminate a
+// loop.
+func ctxDoneExpr(info *types.Info, e ast.Expr) bool {
+	x, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		return isContextType(s.Recv())
+	}
+	return false
+}
+
+// timerExpr reports whether e is time.After(...) or a time.Ticker/Timer C
+// field — a time-bounded wait (good enough for chandisc/deadline guards,
+// not for golife termination).
+func timerExpr(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return selectsPkgFunc(info, ast.Unparen(x.Fun), "time", "After")
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "C" {
+			return false
+		}
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if n, ok := recv.(*types.Named); ok && n.Obj().Pkg() != nil &&
+				n.Obj().Pkg().Path() == "time" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ctxWaitExpr: any wait bounded by cancellation or time.
+func ctxWaitExpr(info *types.Info, e ast.Expr) bool {
+	return ctxDoneExpr(info, e) || timerExpr(info, e)
+}
+
+// heldLock is one mutex the current path holds, in acquisition order.
+type heldLock struct {
+	id, mode string
+}
+
+// concState is the abstract state of one execution path: held locks in
+// order, pending deferred releases, and the channels closed so far.
+// Branch merges intersect held and defers (a lock held on only one arm is
+// not held after the join) and union closed (a send after a close on any
+// path is a hazard).
+type concState struct {
+	held   []heldLock
+	defers []string
+	closed map[string]bool
+	term   bool
+}
+
+func newConcState() *concState {
+	return &concState{closed: map[string]bool{}}
+}
+
+func (s *concState) clone() *concState {
+	c := &concState{
+		held:   append([]heldLock(nil), s.held...),
+		defers: append([]string(nil), s.defers...),
+		closed: make(map[string]bool, len(s.closed)),
+		term:   s.term,
+	}
+	for k := range s.closed {
+		c.closed[k] = true
+	}
+	return c
+}
+
+func (s *concState) holds(id string) bool {
+	for _, h := range s.held {
+		if h.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *concState) heldIDs() []string {
+	if len(s.held) == 0 {
+		return nil
+	}
+	out := make([]string, len(s.held))
+	for i, h := range s.held {
+		out[i] = h.id
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mergeInto folds the branch states into base: held and defers intersect
+// across the non-terminated branches, closed unions. If every branch
+// terminated, base terminates.
+func mergeInto(base *concState, branches []*concState) {
+	live := branches[:0]
+	for _, b := range branches {
+		for k := range b.closed {
+			base.closed[k] = true
+		}
+		if !b.term {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		base.term = true
+		return
+	}
+	first := live[0]
+	var held []heldLock
+	for _, h := range first.held {
+		in := true
+		for _, o := range live[1:] {
+			if !o.holds(h.id) {
+				in = false
+				break
+			}
+		}
+		if in {
+			held = append(held, h)
+		}
+	}
+	var defers []string
+	for _, d := range first.defers {
+		in := true
+		for _, o := range live[1:] {
+			found := false
+			for _, od := range o.defers {
+				if od == d {
+					found = true
+					break
+				}
+			}
+			if !found {
+				in = false
+				break
+			}
+		}
+		if in {
+			defers = append(defers, d)
+		}
+	}
+	base.held, base.defers, base.term = held, defers, false
+}
+
+// concWalker interprets one function body (or one in-place closure body)
+// path-sensitively, appending facts to fx.
+type concWalker struct {
+	pkg    *Package
+	fx     *FuncEffects
+	goLits map[*ast.FuncLit]bool
+	// heldAt / goAt annotate the CallSites recorded by the effects walker:
+	// held mutexes and go-statement membership, keyed by rendered position.
+	heldAt map[string][]string
+	goAt   map[string]bool
+	// wgWaited: the spawner body (outside go closures) calls WaitGroup.Wait,
+	// completing the fork-join shape for "join" spawn signals.
+	wgWaited bool
+	loop     int
+}
+
+func posKey(p token.Position) string {
+	return p.Filename + ":" + strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
+}
+
+func (w *concWalker) bug(kind string, n ast.Node) {
+	w.fx.LockBugs = append(w.fx.LockBugs, Site{Kind: kind, Pos: w.pkg.pos(n)})
+}
+
+// exitCheck reports locks still held at a function exit that no deferred
+// unlock releases.
+func (w *concWalker) exitCheck(st *concState, n ast.Node) {
+	released := map[string]bool{}
+	for _, d := range st.defers {
+		released[d] = true
+	}
+	seen := map[string]bool{}
+	for _, h := range st.held {
+		if released[h.id] || seen[h.id] {
+			continue
+		}
+		seen[h.id] = true
+		w.bug("lock of "+h.id+" is still held at this return with no deferred unlock", n)
+	}
+}
+
+func (w *concWalker) stmts(list []ast.Stmt, st *concState) {
+	for _, s := range list {
+		if st.term {
+			return
+		}
+		w.stmt(s, st)
+	}
+}
+
+func (w *concWalker) stmt(s ast.Stmt, st *concState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, st)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+	case *ast.SendStmt:
+		w.expr(s.Value, st)
+		w.chanOp("send", s.Chan, s, st, false, false)
+	case *ast.GoStmt:
+		w.goStmt(s, st)
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, st)
+		}
+		w.exitCheck(st, s)
+		st.term = true
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO {
+			st.term = true
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		then := st.clone()
+		w.stmts(s.Body.List, then)
+		els := st.clone()
+		if s.Else != nil {
+			w.stmt(s.Else, els)
+		}
+		mergeInto(st, []*concState{then, els})
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		} else {
+			w.fx.InfLoop = true
+		}
+		w.loop++
+		body := st.clone()
+		w.stmts(s.Body.List, body)
+		if s.Post != nil && !body.term {
+			w.stmt(s.Post, body)
+		}
+		w.loop--
+		// Merge "ran once" with "never ran": a body that terminated its own
+		// path (return, or break out of the loop) contributes nothing past
+		// the join, which is the conservative reading for break.
+		mergeInto(st, []*concState{st.clone(), body})
+	case *ast.RangeStmt:
+		if s.X != nil {
+			w.expr(s.X, st)
+			if tv, ok := w.pkg.Info.Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					w.chanOp("recv", s.X, s, st, false, false)
+				}
+			}
+		}
+		w.loop++
+		body := st.clone()
+		w.stmts(s.Body.List, body)
+		w.loop--
+		mergeInto(st, []*concState{st.clone(), body})
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, st)
+		}
+		w.caseClauses(s.Body, st, switchHasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.caseClauses(s.Body, st, switchHasDefault(s.Body))
+	case *ast.SelectStmt:
+		w.selectStmt(s, st)
+	}
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *concWalker) caseClauses(body *ast.BlockStmt, st *concState, hasDefault bool) {
+	var branches []*concState
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.expr(e, st)
+		}
+		b := st.clone()
+		w.stmts(cc.Body, b)
+		branches = append(branches, b)
+	}
+	if !hasDefault {
+		branches = append(branches, st.clone()) // no case matched
+	}
+	if len(branches) > 0 {
+		mergeInto(st, branches)
+	}
+}
+
+func (w *concWalker) selectStmt(s *ast.SelectStmt, st *concState) {
+	guarded := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			guarded = true // default clause: never blocks
+			continue
+		}
+		if e := commRecvExpr(cc.Comm); e != nil && ctxWaitExpr(w.pkg.Info, e.X) {
+			guarded = true
+		}
+	}
+	var branches []*concState
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		b := st.clone()
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			w.expr(comm.Value, b)
+			w.chanOp("send", comm.Chan, comm, b, true, guarded)
+		case *ast.ExprStmt:
+			if ue, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				w.recvOp(ue, b, true, guarded)
+			}
+		case *ast.AssignStmt:
+			for _, r := range comm.Rhs {
+				if ue, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					w.recvOp(ue, b, true, guarded)
+				}
+			}
+		}
+		w.stmts(cc.Body, b)
+		branches = append(branches, b)
+	}
+	if len(branches) > 0 {
+		mergeInto(st, branches)
+	}
+}
+
+func commRecvExpr(comm ast.Stmt) *ast.UnaryExpr {
+	var e ast.Expr
+	switch comm := comm.(type) {
+	case *ast.ExprStmt:
+		e = comm.X
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			e = comm.Rhs[0]
+		}
+	}
+	if ue, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+		return ue
+	}
+	return nil
+}
+
+// chanOp records one send/recv/close. For a bare receive, a close of a
+// sibling field channel of the same struct earlier on the path marks the
+// receive join-guarded (the Stop-closes-stop-then-waits-on-done idiom).
+func (w *concWalker) chanOp(op string, ch ast.Expr, at ast.Node, st *concState, inSelect, guarded bool) {
+	id := concObjectID(w.pkg.Info, ch)
+	if op == "recv" && ctxDoneExpr(w.pkg.Info, ch) {
+		id = "ctx"
+	}
+	co := ChanOp{
+		Op: op, Chan: id, Pos: w.pkg.pos(at),
+		Select: inSelect, CtxGuarded: guarded, Held: st.heldIDs(),
+	}
+	if op == "recv" && !inSelect {
+		if ctxWaitExpr(w.pkg.Info, ch) {
+			co.CtxGuarded = true
+		}
+		if prefix := structPrefixOf(id); prefix != "" {
+			for closed := range st.closed {
+				if closed != id && strings.HasPrefix(closed, prefix) {
+					co.JoinGuarded = true
+					break
+				}
+			}
+		}
+	}
+	if op == "send" && id != "" && st.closed[id] {
+		w.bug("send on "+id+" after a close on the same path", at)
+	}
+	if op == "close" && id != "" {
+		st.closed[id] = true
+	}
+	w.fx.ChanOps = append(w.fx.ChanOps, co)
+}
+
+func (w *concWalker) recvOp(ue *ast.UnaryExpr, st *concState, inSelect, guarded bool) {
+	w.expr(ue.X, st)
+	if !guarded && ctxWaitExpr(w.pkg.Info, ue.X) {
+		guarded = true
+	}
+	w.chanOp("recv", ue.X, ue, st, inSelect, guarded)
+}
+
+func (w *concWalker) goStmt(g *ast.GoStmt, st *concState) {
+	call := g.Call
+	w.goAt[posKey(w.pkg.pos(call))] = true
+	sp := SpawnSite{Pos: w.pkg.pos(g)}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		sp.Signals, sp.Closes = w.analyzeSpawnLit(lit)
+	} else if targets := resolveCallTargets(w.pkg.Info, call.Fun, nil); len(targets) > 0 {
+		sp.Callee = targets[0]
+	}
+	for _, a := range call.Args {
+		w.expr(a, st)
+	}
+	w.fx.Spawns = append(w.fx.Spawns, sp)
+}
+
+// analyzeSpawnLit inspects a go-closure body for termination signals and
+// completion broadcasts, without touching the enclosing path state: the
+// goroutine runs concurrently, so its locks and channel ops are its own.
+func (w *concWalker) analyzeSpawnLit(lit *ast.FuncLit) (signals, closes []string) {
+	info := w.pkg.Info
+	doneCalled := false
+	infLoop := false
+	add := func(s string) {
+		for _, have := range signals {
+			if have == s {
+				return
+			}
+		}
+		signals = append(signals, s)
+	}
+	recv := func(ch ast.Expr) {
+		if ctxDoneExpr(info, ch) {
+			add("ctx")
+			return
+		}
+		if timerExpr(info, ch) {
+			return // time-bounded wait, not a termination signal
+		}
+		if id := concObjectID(info, ch); id != "" {
+			add("chan:" + id)
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if m, _ := syncMethod(info, n); m == "WaitGroup.Done" {
+				doneCalled = true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+					if cid := concObjectID(info, n.Args[0]); cid != "" {
+						closes = append(closes, cid)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				recv(n.X)
+			}
+		case *ast.RangeStmt:
+			if n.X != nil {
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						recv(n.X)
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				infLoop = true
+			}
+		}
+		return true
+	})
+	if doneCalled && w.wgWaited {
+		add("join")
+	}
+	if len(signals) == 0 && !infLoop {
+		add("bounded")
+	}
+	return signals, closes
+}
+
+func (w *concWalker) deferStmt(d *ast.DeferStmt, st *concState) {
+	call := d.Call
+	if m, recv := syncMethod(w.pkg.Info, call); m != "" {
+		switch m {
+		case "Mutex.Unlock", "RWMutex.Unlock", "RWMutex.RUnlock":
+			if id := lockIdentOf(w.pkg.Info, recv); id != "" {
+				st.defers = append(st.defers, id)
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(call.Args) == 1 {
+			// Deferred close fires at exit: record the op (golife matches
+			// completion broadcasts by it) without poisoning this path's
+			// send-after-close state.
+			if cid := concObjectID(w.pkg.Info, call.Args[0]); cid != "" {
+				w.fx.ChanOps = append(w.fx.ChanOps,
+					ChanOp{Op: "close", Chan: cid, Pos: w.pkg.pos(call)})
+			}
+			return
+		}
+	}
+	for _, a := range call.Args {
+		w.expr(a, st)
+	}
+}
+
+// lockIdentOf names the mutex behind a Lock/Unlock receiver. Unnameable
+// receivers (map elements, function results) degrade to "" and are dropped
+// from protocol tracking rather than misattributed.
+func lockIdentOf(info *types.Info, recv ast.Expr) string {
+	return concObjectID(info, recv)
+}
+
+// expr walks an expression on the current path. Function literals are NOT
+// entered here: closures called in place are interpreted separately with a
+// fresh state (their acquire sites still belong to this function), and
+// go-closures belong to their goroutine.
+func (w *concWalker) expr(e ast.Expr, st *concState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.recvOp(n, st, false, false)
+				return false
+			}
+		case *ast.CallExpr:
+			w.call(n, st)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *concWalker) call(call *ast.CallExpr, st *concState) {
+	info := w.pkg.Info
+	for _, a := range call.Args {
+		w.expr(a, st)
+	}
+	if m, recv := syncMethod(info, call); m != "" {
+		w.syncOp(m, recv, call, st)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "close":
+				if len(call.Args) == 1 {
+					w.chanOp("close", call.Args[0], call, st, false, false)
+				}
+			case "make":
+				w.checkMagicBuffer(call)
+			case "panic":
+				st.term = true
+			}
+			return
+		}
+	}
+	if selectsPkgFunc(info, ast.Unparen(call.Fun), "os", "Exit") {
+		st.term = true
+		return
+	}
+	if w.loop > 0 && selectsPkgFunc(info, ast.Unparen(call.Fun), "time", "After") {
+		w.fx.TimerLoops = append(w.fx.TimerLoops,
+			Site{Kind: "time.After in a loop", Pos: w.pkg.pos(call)})
+	}
+	if held := st.heldIDs(); len(held) > 0 {
+		w.heldAt[posKey(w.pkg.pos(call))] = held
+	}
+	w.expr(call.Fun, st)
+}
+
+// syncOp applies one mutex operation to the path state, recording acquire
+// sites, nested-acquire edges, and protocol bugs.
+func (w *concWalker) syncOp(method string, recv ast.Expr, call *ast.CallExpr, st *concState) {
+	id := lockIdentOf(w.pkg.Info, recv)
+	if method == "WaitGroup.Wait" || method == "WaitGroup.Done" || method == "WaitGroup.Add" {
+		if method == "WaitGroup.Wait" {
+			w.wgWaited = true
+			if held := st.heldIDs(); len(held) > 0 {
+				w.heldAt[posKey(w.pkg.pos(call))] = held
+			}
+		}
+		return
+	}
+	if id == "" {
+		return
+	}
+	switch method {
+	case "Mutex.Lock", "RWMutex.Lock", "RWMutex.RLock":
+		mode := "w"
+		if method == "RWMutex.RLock" {
+			mode = "r"
+		}
+		if st.holds(id) {
+			w.bug("double lock of "+id+" on this path (already held)", call)
+		}
+		for _, h := range st.held {
+			if h.id != id {
+				w.fx.LockEdges = append(w.fx.LockEdges,
+					LockEdge{Outer: h.id, Inner: id, Pos: w.pkg.pos(call)})
+			}
+		}
+		st.held = append(st.held, heldLock{id: id, mode: mode})
+		w.fx.Locks = append(w.fx.Locks, LockOp{Mutex: id, Mode: mode, Pos: w.pkg.pos(call)})
+	case "Mutex.Unlock", "RWMutex.Unlock", "RWMutex.RUnlock":
+		for i := len(st.held) - 1; i >= 0; i-- {
+			if st.held[i].id == id {
+				st.held = append(st.held[:i], st.held[i+1:]...)
+				return
+			}
+		}
+		w.bug("unlock of "+id+" without a matching lock on this path", call)
+	}
+}
+
+// checkMagicBuffer flags make(chan T, N) with a bare integer literal N>1:
+// buffer capacities are backpressure policy and must be named constants or
+// config-derived values. 0 (unbuffered) and 1 (the single-handoff /
+// completion idiom) are structural, not policy, and stay exempt.
+func (w *concWalker) checkMagicBuffer(call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := w.pkg.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT || lit.Value == "0" || lit.Value == "1" {
+		return
+	}
+	w.fx.MagicBuffers = append(w.fx.MagicBuffers,
+		Site{Kind: "channel buffer capacity " + lit.Value, Pos: w.pkg.pos(call)})
+}
+
+// analyzeConcurrency runs the path-sensitive interpreter over fd's body and
+// every in-place closure, then annotates the already-recorded CallSites
+// with held-lock sets and go-statement membership.
+func analyzeConcurrency(pkg *Package, fd *ast.FuncDecl, fx *FuncEffects, ctxObjs map[types.Object]bool) {
+	_ = ctxObjs
+	w := &concWalker{
+		pkg:    pkg,
+		fx:     fx,
+		goLits: map[*ast.FuncLit]bool{},
+		heldAt: map[string][]string{},
+		goAt:   map[string]bool{},
+	}
+	// Pre-pass: which closures are go-closure bodies, and does the spawner
+	// itself (outside go-closures) join a WaitGroup? The wgWaited bit must
+	// be known before spawn-lit analysis, which can precede the Wait in
+	// source order.
+	var lits []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				w.goLits[lit] = true
+			}
+		case *ast.FuncLit:
+			lits = append(lits, n)
+		case *ast.CallExpr:
+			if m, _ := syncMethod(pkg.Info, n); m == "WaitGroup.Wait" {
+				w.wgWaited = true
+			}
+		}
+		return true
+	})
+
+	st := newConcState()
+	w.stmts(fd.Body.List, st)
+	if !st.term {
+		w.exitCheck(st, fd.Body)
+	}
+	// In-place closures: interpret with fresh state so their acquire sites
+	// and channel ops register under this function's ID (a closure that
+	// locks is how FlattenSpans-style recursive walkers are written), while
+	// go-closures stay with their SpawnSite.
+	for _, lit := range lits {
+		if w.goLits[lit] {
+			continue
+		}
+		ls := newConcState()
+		w.stmts(lit.Body.List, ls)
+		if !ls.term {
+			w.exitCheck(ls, lit.Body)
+		}
+	}
+	for i := range fx.Calls {
+		key := posKey(fx.Calls[i].Pos)
+		if held, ok := w.heldAt[key]; ok {
+			fx.Calls[i].Held = held
+		}
+		if w.goAt[key] {
+			fx.Calls[i].Go = true
+		}
+	}
+}

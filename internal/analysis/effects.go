@@ -26,6 +26,21 @@ const (
 	transfersMarker = "//declint:transfers"
 )
 
+// Concurrency-protocol directives. spawnsMarker on a function declares that
+// its go statements are sanctioned topology (golife still verifies each
+// goroutine's termination signal); locksAfterMarker on a function declares
+// that the mutexes it acquires are ordered after the named mutex in the
+// module lock order, sanctioning that nested-acquire edge. Both claims are
+// verified: a spawns directive on a function with no go statement and a
+// locks-after naming an edge the lock graph never establishes are findings.
+//
+//	//declint:spawns <reason>
+//	//declint:locks-after <pkg.Type.field> [explanation]
+const (
+	spawnsMarker     = "//declint:spawns"
+	locksAfterMarker = "//declint:locks-after"
+)
+
 // Site is one effect occurrence: an allocation, a forbidden-source read, or
 // a context root, classified by kind.
 type Site struct {
@@ -41,6 +56,62 @@ type Site struct {
 type CallSite struct {
 	Callee string         `json:"callee"`
 	Pos    token.Position `json:"pos"`
+	// Go marks a call that is the operand of a go statement: the callee
+	// runs on a new goroutine, so blocking there does not block the caller
+	// (deadline skips these edges; golife owns them instead).
+	Go bool `json:"go,omitempty"`
+	// Held lists the non-local mutex IDs held at the call site, sorted —
+	// the raw material of lockorder's cross-function edge and
+	// held-across-blocking analysis.
+	Held []string `json:"held,omitempty"`
+}
+
+// LockOp is one mutex acquire site. Mutex is the stable identity — a
+// "pkgpath.Type.field" for struct-field mutexes, "pkgpath.name" for
+// package-level ones, "local:name" for locals (excluded from cross-function
+// reasoning) — and Mode is "w" (Lock) or "r" (RLock).
+type LockOp struct {
+	Mutex string         `json:"mutex"`
+	Mode  string         `json:"mode"`
+	Pos   token.Position `json:"pos"`
+}
+
+// LockEdge is one intra-function nested acquire: Inner was acquired while
+// Outer was held. Edges feed the whole-module lock-order graph.
+type LockEdge struct {
+	Outer string         `json:"outer"`
+	Inner string         `json:"inner"`
+	Pos   token.Position `json:"pos"`
+}
+
+// ChanOp is one channel operation. Chan uses the same identity scheme as
+// LockOp.Mutex. Select marks ops that are a select communication clause;
+// CtxGuarded marks ops inside a select that also has a ctx.Done()/timer
+// case or a default clause (so the op cannot block forever); JoinGuarded
+// marks a receive that is a join on a completion channel — the function
+// closed a sibling stop channel of the same struct earlier on the path.
+type ChanOp struct {
+	Op          string         `json:"op"` // "send", "recv", "close"
+	Chan        string         `json:"chan"`
+	Pos         token.Position `json:"pos"`
+	Select      bool           `json:"select,omitempty"`
+	CtxGuarded  bool           `json:"ctxGuarded,omitempty"`
+	JoinGuarded bool           `json:"joinGuarded,omitempty"`
+	Held        []string       `json:"held,omitempty"`
+}
+
+// SpawnSite is one go statement. For `go func(){...}()` the closure body is
+// analyzed in place: Signals lists the termination signals found ("join"
+// for wg.Done paired with a same-function wg.Wait, "ctx" for a
+// ctx.Done()/timer receive, "chan:<id>" for a receive on an identified
+// stop channel, "bounded" for a straight-line body), and Closes lists the
+// channels the goroutine closes (its completion broadcast). For `go f()`
+// Callee carries the call key and the checker consults f's own summary.
+type SpawnSite struct {
+	Pos     token.Position `json:"pos"`
+	Callee  string         `json:"callee,omitempty"`
+	Signals []string       `json:"signals,omitempty"`
+	Closes  []string       `json:"closes,omitempty"`
 }
 
 // FuncEffects is the intraprocedural summary of one function: what it
@@ -91,6 +162,30 @@ type FuncEffects struct {
 	CtxUsed  bool           `json:"ctxUsed,omitempty"`
 	CtxPos   token.Position `json:"ctxPos,omitempty"`
 	CtxRoots []Site         `json:"ctxRoots,omitempty"`
+
+	// Concurrency facts for lockorder/golife/chandisc/deadline, produced by
+	// the path-sensitive walker in concurrency_effects.go. Locks are the
+	// acquire sites; LockBugs are intra-function protocol violations found
+	// by the walker itself (double-lock on a path, unlock-without-lock,
+	// lock leaked past a return, send-after-close); LockEdges are nested
+	// acquires; Spawns are go statements; TimerLoops are time.After calls
+	// inside loops; MagicBuffers are make(chan, N) with a bare integer
+	// literal capacity. SpawnsReason / LocksAfter mirror the
+	// //declint:spawns and //declint:locks-after doc directives, with
+	// malformed ones recorded in ConcDirectiveErrs.
+	Locks             []LockOp    `json:"locks,omitempty"`
+	LockEdges         []LockEdge  `json:"lockEdges,omitempty"`
+	LockBugs          []Site      `json:"lockBugs,omitempty"`
+	ChanOps           []ChanOp    `json:"chanOps,omitempty"`
+	Spawns            []SpawnSite `json:"spawns,omitempty"`
+	SpawnsReason      string      `json:"spawnsReason,omitempty"`
+	LocksAfter        []string    `json:"locksAfter,omitempty"`
+	TimerLoops        []Site      `json:"timerLoops,omitempty"`
+	MagicBuffers      []Site      `json:"magicBuffers,omitempty"`
+	ConcDirectiveErrs []Site      `json:"concDirectiveErrs,omitempty"`
+	// InfLoop marks a `for {}`-shaped loop in the body: a function spawned
+	// as a goroutine with such a loop and no termination signal leaks.
+	InfLoop bool `json:"infLoop,omitempty"`
 }
 
 // funcIDOf renders the stable identity of a function or method:
@@ -664,6 +759,38 @@ func parseOwnershipDirectives(pkg *Package, fd *ast.FuncDecl, fx *FuncEffects, s
 	}
 }
 
+// parseConcurrencyDirectives fills the //declint:spawns and
+// //declint:locks-after facts of fx from fd's doc comment. Both demand an
+// argument (a reason, a mutex name); malformed directives land in
+// ConcDirectiveErrs so a typo cannot silently sanction a topology.
+func parseConcurrencyDirectives(pkg *Package, fd *ast.FuncDecl, fx *FuncEffects) {
+	if fd.Doc == nil {
+		return
+	}
+	bad := func(c *ast.Comment, msg string) {
+		fx.ConcDirectiveErrs = append(fx.ConcDirectiveErrs, Site{Kind: msg, Pos: pkg.pos(c)})
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case directiveLine(text, spawnsMarker):
+			reason := strings.TrimSpace(text[len(spawnsMarker):])
+			if reason == "" {
+				bad(c, "malformed "+spawnsMarker+": a reason is mandatory")
+				continue
+			}
+			fx.SpawnsReason = reason
+		case directiveLine(text, locksAfterMarker):
+			fields := strings.Fields(text[len(locksAfterMarker):])
+			if len(fields) == 0 {
+				bad(c, "malformed "+locksAfterMarker+": name the outer mutex, e.g. obs.TailSampler.mu")
+				continue
+			}
+			fx.LocksAfter = append(fx.LocksAfter, fields[0])
+		}
+	}
+}
+
 // computeFuncEffects summarizes one declaration. idSuffix disambiguates the
 // (uncallable) init functions, which may legally repeat per package.
 func computeFuncEffects(pkg *Package, fd *ast.FuncDecl, idSuffix string) *FuncEffects {
@@ -681,6 +808,7 @@ func computeFuncEffects(pkg *Package, fd *ast.FuncDecl, idSuffix string) *FuncEf
 	if sig, ok := obj.Type().(*types.Signature); ok {
 		parseOwnershipDirectives(pkg, fd, fx, sig)
 	}
+	parseConcurrencyDirectives(pkg, fd, fx)
 	ctxObjs := map[types.Object]bool{}
 	if fd.Type.Params != nil {
 		for _, field := range fd.Type.Params.List {
@@ -720,6 +848,7 @@ func computeFuncEffects(pkg *Package, fd *ast.FuncDecl, idSuffix string) *FuncEf
 		vars:    collectFuncVars(pkg.Info, fd),
 	}
 	ast.Inspect(fd.Body, w.visit)
+	analyzeConcurrency(pkg, fd, fx, ctxObjs)
 	return fx
 }
 

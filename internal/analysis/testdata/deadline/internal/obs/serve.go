@@ -1,0 +1,43 @@
+// Package obs is a fixture standing in for a serving package: exported
+// ctx-less entry points that reach unbounded blocking — a raw channel
+// receive, a direct sleep, and a sleep behind a helper chain — plus the
+// clean ctx-threaded shape.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Wait blocks on a raw receive with no deadline.
+func Wait(ch chan int) int {
+	return <-ch
+}
+
+// Settle sleeps directly.
+func Settle() {
+	time.Sleep(time.Millisecond)
+}
+
+// Converge reaches the sleep through a helper chain.
+func Converge() {
+	settleOnce()
+}
+
+func settleOnce() {
+	nap()
+}
+
+func nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// WaitCtx is the clean shape: the caller's ctx bounds the wait.
+func WaitCtx(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}

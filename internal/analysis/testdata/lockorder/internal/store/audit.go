@@ -1,0 +1,40 @@
+// Cross-function lock-order edges: one declared with locks-after (clean),
+// one undeclared (flagged), and one declaration no caller ever exercises
+// (flagged as unbacked).
+package store
+
+// lockB acquires muB; callers holding muA rely on the declared order.
+//
+//declint:locks-after store.muA
+func lockB() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+// UnderA calls lockB while holding muA: the edge is declared, so clean.
+func UnderA() {
+	muA.Lock()
+	defer muA.Unlock()
+	lockB()
+}
+
+// lockA acquires muA with no declaration.
+func lockA() {
+	muA.Lock()
+	muA.Unlock()
+}
+
+// UnderB calls lockA while holding muB: an undeclared cross-function edge.
+func UnderB() {
+	muB.Lock()
+	defer muB.Unlock()
+	lockA()
+}
+
+// Idle declares an order no caller ever exercises.
+//
+//declint:locks-after store.Store.mu
+func Idle() {
+	muB.Lock()
+	muB.Unlock()
+}

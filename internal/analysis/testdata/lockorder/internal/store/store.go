@@ -1,0 +1,64 @@
+// Package store is a fixture: lock-order hazards over two package-level
+// mutexes and a struct mutex — an acquisition-order cycle, a self-deadlock
+// through a call chain, blocking under a held lock, and an unlock with no
+// matching lock.
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// AB acquires in the sanctioned order.
+func AB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// BA inverts it: together with AB this closes a lock-order cycle.
+func BA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// Store wraps a counter behind a mutex.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Size reports the count.
+func (s *Store) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Grow holds mu and calls Size, which reacquires it: self-deadlock.
+func (s *Store) Grow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.Size()
+}
+
+// Nap blocks while holding the lock.
+func (s *Store) Nap() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// Drop unlocks a mutex it never locked.
+func Drop() {
+	muA.Unlock()
+}

@@ -8,6 +8,7 @@ import (
 	"decamouflage/internal/imgcore"
 	"decamouflage/internal/obs"
 	"decamouflage/internal/scaling"
+	"decamouflage/internal/testutil"
 )
 
 func obsTestImage(t testing.TB, w, h int) *imgcore.Image {
@@ -43,6 +44,7 @@ func obsTestEnsemble(t testing.TB) *Ensemble {
 // produces: ensemble.detect at the root, one child per method carrying
 // score and decision attrs, and the scorers' stage spans nested below.
 func TestEnsembleDetectTrace(t *testing.T) {
+	testutil.VerifyNoLeaks(t) // the traced pipeline's fan-outs must all join
 	ctx, tr := obs.WithTrace(context.Background(), "classify")
 	if tr == nil {
 		t.Skip("observability compiled out (noobs)")

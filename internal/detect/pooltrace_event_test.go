@@ -19,8 +19,14 @@ import (
 
 // recordingSession installs a recorder and tail sampler for one pooltrace
 // test (metrics enabled so spans and stage histograms are live too).
+// Under -tags noobs there is no recorder to install: these tests pin the
+// ledger/recorder interplay specifically, and the ledger alone is already
+// covered tag-independently in pooltrace_test.go, so they skip.
 func recordingSession(t *testing.T) *obs.Recorder {
 	t.Helper()
+	if obs.NewRecorder(1) == nil {
+		t.Skip("observability compiled out (noobs)")
+	}
 	obs.Enable()
 	t.Cleanup(obs.Disable)
 	rec := obs.NewRecorder(256)

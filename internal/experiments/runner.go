@@ -107,53 +107,75 @@ func NewRunner(cfg Config) *Runner {
 // Config returns the effective (defaulted) configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
-// Scaler returns the defender's scaler, building it on first use.
+// Scaler returns the defender's scaler, building it on first use. The
+// build (coefficient tables, possibly via the module-wide LRU) happens
+// outside mu: holding the Runner lock across another package's locked
+// cache would impose a cross-package lock order for no benefit. Losing
+// the publish race just discards one identical scaler.
 func (r *Runner) Scaler() (*scaling.Scaler, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.scalerLocked()
-}
-
-func (r *Runner) scalerLocked() (*scaling.Scaler, error) {
-	if r.scaler != nil {
-		return r.scaler, nil
+	s := r.scaler
+	r.mu.Unlock()
+	if s != nil {
+		return s, nil
 	}
 	s, err := scaling.NewScaler(r.cfg.SrcW, r.cfg.SrcH, r.cfg.DstW, r.cfg.DstH,
 		scaling.Options{Algorithm: r.cfg.Algorithm})
 	if err != nil {
 		return nil, err
 	}
-	r.scaler = s
+	r.mu.Lock()
+	if r.scaler == nil {
+		r.scaler = s
+	}
+	s = r.scaler
+	r.mu.Unlock()
 	return s, nil
 }
 
 // Train returns the calibration corpus (NeurIPS-like), building it once.
+// The build is a parallel.For fan-out over the whole corpus and must not
+// run under mu; concurrent first callers may both build, and the loser
+// discards its copy (the corpora are deterministic for a given spec).
 func (r *Runner) Train(ctx context.Context) (*eval.Corpus, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.train != nil {
-		return r.train, nil
+	c := r.train
+	r.mu.Unlock()
+	if c != nil {
+		return c, nil
 	}
 	c, err := eval.BuildCorpus(ctx, r.spec(dataset.NeurIPSLike, r.cfg.Seed))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build train corpus: %w", err)
 	}
-	r.train = c
+	r.mu.Lock()
+	if r.train == nil {
+		r.train = c
+	}
+	c = r.train
+	r.mu.Unlock()
 	return c, nil
 }
 
 // Eval returns the evaluation corpus (Caltech-like), building it once.
+// Same discipline as Train: the expensive build runs outside mu.
 func (r *Runner) Eval(ctx context.Context) (*eval.Corpus, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.evalC != nil {
-		return r.evalC, nil
+	c := r.evalC
+	r.mu.Unlock()
+	if c != nil {
+		return c, nil
 	}
 	c, err := eval.BuildCorpus(ctx, r.spec(dataset.CaltechLike, r.cfg.Seed+100000))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build eval corpus: %w", err)
 	}
-	r.evalC = c
+	r.mu.Lock()
+	if r.evalC == nil {
+		r.evalC = c
+	}
+	c = r.evalC
+	r.mu.Unlock()
 	return c, nil
 }
 

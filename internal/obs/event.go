@@ -100,6 +100,11 @@ type Recorder struct {
 	dropped   int64
 	anomalous int64
 	slow      map[string]*ewma
+
+	// anomalyMu serializes the dump-on-anomaly writer separately from the
+	// ring mutex: encoding an event is I/O and must never stall Record
+	// callers waiting on mu.
+	anomalyMu sync.Mutex
 	anomalyW  io.Writer
 	anomalyE  error
 
@@ -141,9 +146,9 @@ func (r *Recorder) SetAnomalyOutput(w io.Writer) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
+	r.anomalyMu.Lock()
 	r.anomalyW = w
-	r.mu.Unlock()
+	r.anomalyMu.Unlock()
 }
 
 // Record stamps and stores one event: assigns the sequence number, fills
@@ -175,14 +180,19 @@ func (r *Recorder) Record(ev Event) {
 	r.recorded++
 	if ev.Anomalous() {
 		r.anomalous++
-		if r.anomalyW != nil && r.anomalyE == nil {
-			r.anomalyE = json.NewEncoder(r.anomalyW).Encode(&ev)
-		}
 	}
 	r.mu.Unlock()
 	r.recordedC.Inc()
 	if ev.Anomalous() {
 		r.anomalousC.Inc()
+		// Dump-on-anomaly happens outside mu: the encode is I/O, and a slow
+		// anomaly writer must never stall concurrent Record callers.
+		r.anomalyMu.Lock()
+		if r.anomalyW != nil && r.anomalyE == nil {
+			//declint:ignore lockorder anomalyMu exists to serialize exactly this write; it guards nothing else and Record never blocks on it while holding mu
+			r.anomalyE = json.NewEncoder(r.anomalyW).Encode(&ev)
+		}
+		r.anomalyMu.Unlock()
 	}
 }
 
@@ -234,8 +244,8 @@ func (r *Recorder) Err() error {
 	if !r.Active() {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.anomalyMu.Lock()
+	defer r.anomalyMu.Unlock()
 	return r.anomalyE
 }
 
@@ -276,6 +286,12 @@ func Events() *Recorder {
 // FlattenSpans serializes a span tree pre-order into StageDur records:
 // the root at depth 0, descendants below it, offsets relative to the root
 // start. Unended spans report their live duration. Nil-safe.
+//
+// The tail sampler calls this under its own lock while flattening a
+// finished trace; each Span.mu is leaf-level (held only for field copies,
+// never across another acquire), so the order is safe and declared:
+//
+//declint:locks-after obs.TailSampler.mu
 func FlattenSpans(root *Span) []StageDur {
 	if compiledOut || root == nil {
 		return nil

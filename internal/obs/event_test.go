@@ -375,6 +375,7 @@ func TestTailGlobalInstall(t *testing.T) {
 }
 
 func TestWatchdogSample(t *testing.T) {
+	testutil.VerifyNoLeaks(t) // pins that Stop joins the sampling goroutine
 	withRecording(t)
 	rec := NewRecorder(16)
 	SetRecorder(rec)
@@ -424,6 +425,10 @@ func TestWatchdogSample(t *testing.T) {
 }
 
 func TestServeDebugEventsEndpoints(t *testing.T) {
+	testutil.VerifyNoLeaks(t) // pins that Close joins the Serve goroutine
+	// The default client's keep-alive connections are ours, not the
+	// server's; drop them before the leak diff runs.
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 	withRecording(t)
 	rec := NewRecorder(8)
 	SetRecorder(rec)

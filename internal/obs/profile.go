@@ -90,6 +90,8 @@ func (d *DebugServer) Close() error {
 //
 // The handlers live on a private mux so importing obs never mutates
 // http.DefaultServeMux.
+//
+//declint:spawns one http.Serve loop per debug server; terminated and joined by DebugServer.Close
 func ServeDebug(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

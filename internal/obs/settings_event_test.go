@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"decamouflage/internal/testutil"
 )
 
 // TestSettingsEventSession pins the Apply/Close lifecycle of the v2
@@ -16,6 +18,7 @@ func TestSettingsEventSession(t *testing.T) {
 	if compiledOut {
 		t.Skip("observability compiled out (noobs)")
 	}
+	testutil.VerifyNoLeaks(t) // pins that Session.Close joins the watchdog
 	t.Cleanup(Disable)
 	dir := t.TempDir()
 	evPath := filepath.Join(dir, "events.ndjson")

@@ -47,6 +47,8 @@ type Watchdog struct {
 }
 
 // StartWatchdog launches the watchdog goroutine. Returns nil under noobs.
+//
+//declint:spawns one sampling loop per watchdog; select on w.stop, joined by Stop via w.done
 func StartWatchdog(cfg WatchdogConfig) *Watchdog {
 	if compiledOut {
 		return nil

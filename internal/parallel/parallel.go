@@ -113,6 +113,8 @@ func GrainForWidth(rowCost, minWork int) int {
 // returned. A context cancellation observed before all chunks completed
 // returns ctx.Err(); if every chunk ran to completion, For returns nil
 // regardless of late cancellation.
+//
+//declint:spawns fork-join worker pool of Workers goroutines; every path joins via wg.Wait before return
 func For(ctx context.Context, n int, fn func(lo, hi int) error, opts ...Option) error {
 	cfg := config{grain: 1}
 	for _, o := range opts {

@@ -31,6 +31,7 @@ func coverage(t *testing.T, n int, opts ...Option) []int32 {
 }
 
 func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	testutil.VerifyNoLeaks(t) // every worker must join before For returns
 	for _, n := range []int{1, 2, 3, 7, 8, 64, 100, 1009} {
 		for _, grain := range []int{1, 2, 3, 16, 1000, 5000} {
 			for _, workers := range []int{1, 2, 4, 9} {
@@ -149,6 +150,7 @@ func TestForSerialStopsAtFirstError(t *testing.T) {
 }
 
 func TestForCancellationStopsDispatch(t *testing.T) {
+	testutil.VerifyNoLeaks(t) // cancellation must still join every worker
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int64
 	release := make(chan struct{})

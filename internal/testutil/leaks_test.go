@@ -1,0 +1,71 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorderT captures Errorf calls and runs cleanups on demand, standing in
+// for *testing.T so the differ's failure path is testable.
+type recorderT struct {
+	cleanups []func()
+	errors   []string
+}
+
+func (r *recorderT) Helper()          {}
+func (r *recorderT) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+func (r *recorderT) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, format)
+}
+
+func (r *recorderT) finish() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestVerifyNoLeaksCleanPass(t *testing.T) {
+	rec := &recorderT{}
+	VerifyNoLeaks(rec)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	rec.finish()
+	if len(rec.errors) != 0 {
+		t.Fatalf("clean test reported leaks: %v", rec.errors)
+	}
+}
+
+func TestVerifyNoLeaksCatchesLeak(t *testing.T) {
+	rec := &recorderT{}
+	VerifyNoLeaks(rec)
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	rec.finish()
+	close(stop)
+	if len(rec.errors) == 0 {
+		t.Fatal("leaked goroutine went unreported")
+	}
+	if !strings.Contains(rec.errors[0], "leaked") {
+		t.Fatalf("unexpected error format: %q", rec.errors[0])
+	}
+}
+
+// TestVerifyNoLeaksSettles: a goroutine whose join raced the cleanup (done
+// channel closed, stack not yet reaped) must not be reported — the differ
+// retries until the runtime catches up.
+func TestVerifyNoLeaksSettles(t *testing.T) {
+	rec := &recorderT{}
+	VerifyNoLeaks(rec)
+	go func() { time.Sleep(50 * time.Millisecond) }()
+	rec.finish() // cleanup starts while the goroutine is still sleeping
+	if len(rec.errors) != 0 {
+		t.Fatalf("settling goroutine reported as a leak: %v", rec.errors)
+	}
+}
